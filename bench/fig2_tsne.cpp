@@ -1,0 +1,124 @@
+// Figure 2: t-SNE projection of latent-space neighborhoods around the
+// passwords "jaram" and "royal" over a background of latent points.
+//
+// Output: a CSV of 2-D coordinates labeled {background, jaram, royal} (the
+// paper renders these as an image; the CSV is the plottable equivalent) plus
+// printed neighbor samples and a quantitative cluster-separation statistic.
+#include <cmath>
+
+#include "analysis/tsne.hpp"
+#include "bench_support.hpp"
+#include "guessing/interpolation.hpp"
+
+namespace pf = passflow;
+using pf::bench::BenchEnv;
+using pf::bench::BenchScale;
+
+int main(int argc, char** argv) {
+  pf::util::Flags flags(argc, argv);
+  BenchScale scale = pf::bench::scale_from_flags(flags);
+  const std::string pivot_a = flags.get_string("pivot-a", "jaram");
+  const std::string pivot_b = flags.get_string("pivot-b", "royal");
+  const std::size_t neighbors = static_cast<std::size_t>(
+      flags.get_int("neighbors", 40));
+  const std::size_t background = static_cast<std::size_t>(
+      flags.get_int("background", 150));
+
+  BenchEnv env(scale);
+  const std::vector<std::string> flow_train = env.flow_train_subset(scale);
+  auto model = pf::bench::train_flow(env, scale, {}, &flow_train);
+
+  pf::util::Rng rng(scale.seed + 60);
+  const std::size_t dim = env.encoder.dim();
+  const std::size_t total = background + 2 * neighbors;
+  pf::nn::Matrix latents(total, dim);
+  std::vector<std::string> labels(total);
+
+  // Background: latent images of random training passwords.
+  for (std::size_t i = 0; i < background; ++i) {
+    const auto& password =
+        env.split.train[rng.uniform_index(env.split.train.size())];
+    const auto z = pf::guessing::latent_of(*model, env.encoder, password);
+    std::copy(z.begin(), z.end(), latents.row(i));
+    labels[i] = "background";
+  }
+  // Neighborhoods of the two pivots.
+  const double sigma = 0.08;
+  auto add_neighborhood = [&](const std::string& pivot, std::size_t offset,
+                              const std::string& label) {
+    const auto z_pivot = pf::guessing::latent_of(*model, env.encoder, pivot);
+    for (std::size_t i = 0; i < neighbors; ++i) {
+      float* row = latents.row(offset + i);
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] = static_cast<float>(z_pivot[d] + rng.normal(0.0, sigma));
+      }
+      labels[offset + i] = label;
+    }
+  };
+  add_neighborhood(pivot_a, background, pivot_a);
+  add_neighborhood(pivot_b, background + neighbors, pivot_b);
+
+  pf::analysis::TsneConfig tsne_config;
+  tsne_config.iterations = 400;
+  tsne_config.perplexity = 20.0;
+  const pf::nn::Matrix embedding = pf::analysis::tsne_embed(latents,
+                                                            tsne_config);
+
+  pf::util::CsvWriter csv(pf::bench::output_path("fig2_tsne.csv"),
+                          {"x", "y", "label"});
+  for (std::size_t i = 0; i < total; ++i) {
+    csv.write_row({std::to_string(embedding(i, 0)),
+                   std::to_string(embedding(i, 1)), labels[i]});
+  }
+
+  // Print decoded neighbor samples, as in the figure caption.
+  auto print_neighbors = [&](const std::string& pivot, std::size_t offset) {
+    const pf::nn::Matrix x = model->inverse(
+        latents.slice_rows(offset, offset + std::min<std::size_t>(
+                                                neighbors, 8)));
+    std::printf("  around \"%s\": ", pivot.c_str());
+    for (const auto& p : env.encoder.decode_batch(x)) {
+      std::printf("%s ", p.c_str());
+    }
+    std::printf("\n");
+  };
+  std::printf("\nFigure 2: t-SNE of latent neighborhoods (scale=%s)\n",
+              scale.name.c_str());
+  print_neighbors(pivot_a, background);
+  print_neighbors(pivot_b, background + neighbors);
+
+  // Quantitative locality: the two neighborhood clusters should be compact
+  // relative to their separation in the embedding.
+  auto centroid = [&](std::size_t begin, std::size_t end) {
+    double cx = 0.0, cy = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      cx += embedding(i, 0);
+      cy += embedding(i, 1);
+    }
+    const double n = static_cast<double>(end - begin);
+    return std::pair<double, double>{cx / n, cy / n};
+  };
+  auto spread = [&](std::size_t begin, std::size_t end) {
+    const auto [cx, cy] = centroid(begin, end);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double dx = embedding(i, 0) - cx;
+      const double dy = embedding(i, 1) - cy;
+      acc += std::sqrt(dx * dx + dy * dy);
+    }
+    return acc / static_cast<double>(end - begin);
+  };
+  const auto [ax, ay] = centroid(background, background + neighbors);
+  const auto [bx, by] =
+      centroid(background + neighbors, background + 2 * neighbors);
+  const double separation =
+      std::sqrt((ax - bx) * (ax - bx) + (ay - by) * (ay - by));
+  const double mean_spread =
+      0.5 * (spread(background, background + neighbors) +
+             spread(background + neighbors, background + 2 * neighbors));
+  std::printf("\ncluster separation / mean spread: %.2f (>1 means the two "
+              "neighborhoods form distinct regions)\n",
+              separation / mean_spread);
+  std::printf("CSV written to %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the flow itself: forward, inverse and
+// NLL-backward throughput at paper architecture (18x256x2) and at the bench
+// default (8x96x2), plus encoder and sampler throughput.
+#include <benchmark/benchmark.h>
+
+#include "data/encoder.hpp"
+#include "flow/flow_model.hpp"
+#include "guessing/static_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace pf = passflow;
+
+pf::nn::Matrix random_batch(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  pf::util::Rng rng(seed);
+  pf::nn::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal(0.5, 0.2));
+  }
+  return m;
+}
+
+pf::flow::FlowConfig config_for(int couplings, int hidden) {
+  pf::flow::FlowConfig config;
+  config.dim = 10;
+  config.num_couplings = static_cast<std::size_t>(couplings);
+  config.hidden = static_cast<std::size_t>(hidden);
+  config.residual_blocks = 2;
+  return config;
+}
+
+void BM_FlowForward(benchmark::State& state) {
+  pf::util::Rng rng(1);
+  pf::flow::FlowModel model(
+      config_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))),
+      rng);
+  const pf::nn::Matrix x = random_batch(
+      static_cast<std::size_t>(state.range(2)), 10, 2);
+  for (auto _ : state) {
+    const auto z = model.forward_inference(x);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(2));
+}
+BENCHMARK(BM_FlowForward)
+    ->Args({8, 96, 2048})    // bench default architecture
+    ->Args({18, 256, 2048})  // paper architecture (§IV-D)
+    ->Args({18, 256, 512});
+
+void BM_FlowInverse(benchmark::State& state) {
+  pf::util::Rng rng(3);
+  pf::flow::FlowModel model(
+      config_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))),
+      rng);
+  const pf::nn::Matrix z = random_batch(
+      static_cast<std::size_t>(state.range(2)), 10, 4);
+  for (auto _ : state) {
+    const auto x = model.inverse(z);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(2));
+}
+BENCHMARK(BM_FlowInverse)->Args({8, 96, 2048})->Args({18, 256, 2048});
+
+void BM_FlowNllBackward(benchmark::State& state) {
+  pf::util::Rng rng(5);
+  pf::flow::FlowModel model(
+      config_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))),
+      rng);
+  const pf::nn::Matrix x = random_batch(512, 10, 6);
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(model.nll_backward(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_FlowNllBackward)->Args({8, 96})->Args({18, 256});
+
+void BM_EncoderDecodeBatch(benchmark::State& state) {
+  pf::data::Encoder encoder(pf::data::Alphabet::standard(), 10);
+  const pf::nn::Matrix x = random_batch(4096, 10, 7);
+  for (auto _ : state) {
+    const auto decoded = encoder.decode_batch(x);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_EncoderDecodeBatch);
+
+void BM_StaticGuessThroughput(benchmark::State& state) {
+  pf::util::Rng rng(8);
+  pf::flow::FlowModel model(config_for(8, 96), rng);
+  pf::data::Encoder encoder(pf::data::Alphabet::standard(), 10);
+  pf::guessing::StaticSampler sampler(model, encoder);
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    out.clear();
+    sampler.generate(4096, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_StaticGuessThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

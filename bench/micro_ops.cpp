@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks for the nn substrate: GEMM variants and
+// elementwise kernels at the shapes PassFlow actually uses.
+#include <benchmark/benchmark.h>
+
+#include "nn/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using passflow::nn::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  passflow::util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal());
+  }
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto hidden = static_cast<std::size_t>(state.range(1));
+  const Matrix a = random_matrix(batch, hidden, 1);
+  const Matrix b = random_matrix(hidden, hidden, 2);
+  Matrix out;
+  for (auto _ : state) {
+    passflow::nn::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch *
+                          hidden * hidden * 2);
+}
+BENCHMARK(BM_Matmul)
+    ->Args({512, 256})
+    ->Args({2048, 256})
+    ->Args({512, 96})
+    ->Args({2048, 96});
+
+void BM_MatmulTn(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(batch, 256, 3);
+  const Matrix b = random_matrix(batch, 256, 4);
+  Matrix out;
+  for (auto _ : state) {
+    passflow::nn::matmul_tn(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatmulTn)->Arg(512)->Arg(2048);
+
+void BM_MatmulNt(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(batch, 256, 5);
+  const Matrix b = random_matrix(256, 256, 6);
+  Matrix out;
+  for (auto _ : state) {
+    passflow::nn::matmul_nt(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatmulNt)->Arg(512)->Arg(2048);
+
+void BM_AddInplace(benchmark::State& state) {
+  Matrix a = random_matrix(2048, 256, 7);
+  const Matrix b = random_matrix(2048, 256, 8);
+  for (auto _ : state) {
+    passflow::nn::add_inplace(a, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_AddInplace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Targeted guessing with latent-space operations (§V-B).
+//
+//   ./examples/targeted_guessing [--pivot jimmy91] [--target 123456]
+//
+// Scenario from the paper's motivation: the attacker has partial knowledge —
+// e.g. the victim's old password, or a guess that the password is a name
+// variant. PassFlow's explicit latent space supports two attacks GANs cannot
+// do without a separately trained encoder:
+//   1. bounded pivot sampling — explore the neighborhood of a known string
+//      at increasing radii (Table V);
+//   2. interpolation — walk the latent line between two hypotheses,
+//      emitting plausible passwords along the way (Figure 3, Algorithm 2).
+#include <cstdio>
+
+#include "data/synthetic_rockyou.hpp"
+#include "flow/trainer.hpp"
+#include "guessing/conditional.hpp"
+#include "guessing/interpolation.hpp"
+#include "guessing/pivot_sampler.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace pf = passflow;
+
+int main(int argc, char** argv) {
+  pf::util::Flags flags(argc, argv);
+  const std::string pivot = flags.get_string("pivot", "jimmy91");
+  const std::string target = flags.get_string("target", "123456");
+  pf::util::set_log_level(pf::util::LogLevel::kWarn);
+
+  // Train a compact model on synthetic data.
+  pf::data::SyntheticRockyou generator({}, 42);
+  pf::data::Encoder encoder(pf::data::Alphabet::standard(), 10);
+  pf::flow::FlowConfig config;
+  config.num_couplings = 6;
+  config.hidden = 64;
+  config.residual_blocks = 1;
+  pf::util::Rng rng(7);
+  pf::flow::FlowModel model(config, rng);
+  pf::flow::TrainConfig train_config;
+  train_config.epochs = 6;
+  pf::flow::Trainer trainer(model, train_config);
+  std::printf("training on 20000 synthetic passwords...\n");
+  trainer.train(generator.generate(20000), encoder);
+
+  // Attack 1: bounded sampling around the pivot at increasing radii.
+  std::printf("\n== neighborhood of \"%s\" (pivot sampling) ==\n",
+              pivot.c_str());
+  pf::guessing::PivotSampler pivot_sampler(model, encoder, pivot);
+  for (double sigma : {0.05, 0.10, 0.20}) {
+    pf::util::Rng sample_rng(11);
+    const auto samples = pivot_sampler.sample_unique(8, sigma, sample_rng);
+    std::printf("  sigma=%.2f: ", sigma);
+    for (const auto& s : samples) std::printf("%s ", s.c_str());
+    std::printf("\n");
+  }
+
+  // Attack 2: interpolation between two hypotheses.
+  std::printf("\n== interpolation \"%s\" -> \"%s\" ==\n  ", pivot.c_str(),
+              target.c_str());
+  for (const auto& step :
+       pf::guessing::interpolate(model, encoder, pivot, target, 12)) {
+    std::printf("%s ", step.c_str());
+  }
+  // Attack 3 (extension, §VII): conditional completion of a partial
+  // password. "jimmy**" -> ranked completions by exact density.
+  std::string pattern = pivot;
+  if (pattern.size() >= 2) {
+    pattern.replace(pattern.size() - 2, 2, "**");
+  }
+  std::printf("\n== conditional completion of \"%s\" ==\n", pattern.c_str());
+  pf::guessing::ConditionalGuesser conditional(model, encoder);
+  const auto completions = conditional.complete(pattern, 10);
+  for (const auto& guess : completions) {
+    std::printf("  %-12s log p = %.2f\n", guess.password.c_str(),
+                guess.log_prob);
+  }
+
+  std::printf("\nEach emitted string is a candidate guess; feed them to "
+              "your cracking pipeline in order.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Quantitative probes of the latent-space properties claimed in §V-B:
+// smoothness (neighbors of a real password's latent decode to high-density
+// points) and locality (similar passwords sit close together).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/encoder.hpp"
+#include "flow/flow_model.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::analysis {
+
+struct NeighborhoodStats {
+  double mean_log_prob = 0.0;     // mean log p(x) of decoded neighbors
+  double mean_edit_distance = 0.0;  // vs the pivot password
+  double collision_rate = 0.0;    // fraction of duplicate decodes
+  std::size_t samples = 0;
+};
+
+// Samples `count` latent points from N(z_pivot, sigma^2 I), decodes them and
+// reports density/similarity statistics of the decoded passwords.
+NeighborhoodStats probe_neighborhood(const flow::FlowModel& model,
+                                     const data::Encoder& encoder,
+                                     const std::string& pivot, double sigma,
+                                     std::size_t count, util::Rng& rng);
+
+// Levenshtein distance (unit costs).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+// Mean pairwise latent L2 distance of a set of passwords — locality metric:
+// structurally related passwords should have a smaller value than unrelated
+// ones.
+double mean_latent_distance(const flow::FlowModel& model,
+                            const data::Encoder& encoder,
+                            const std::vector<std::string>& passwords);
+
+}  // namespace passflow::analysis

@@ -1,0 +1,122 @@
+#include "analysis/quality.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "baselines/pcfg.hpp"
+
+namespace passflow::analysis {
+
+namespace {
+double kl_term(double p, double m) {
+  if (p <= 0.0) return 0.0;
+  return p * std::log(p / m);
+}
+
+void normalize(std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  if (total <= 0.0) throw std::invalid_argument("zero-mass distribution");
+  for (double& x : v) x /= total;
+}
+}  // namespace
+
+double jensen_shannon(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("jensen_shannon: size mismatch");
+  }
+  std::vector<double> pn = p, qn = q;
+  normalize(pn);
+  normalize(qn);
+  double jsd = 0.0;
+  for (std::size_t i = 0; i < pn.size(); ++i) {
+    const double m = 0.5 * (pn[i] + qn[i]);
+    if (m <= 0.0) continue;
+    jsd += 0.5 * kl_term(pn[i], m) + 0.5 * kl_term(qn[i], m);
+  }
+  return jsd;
+}
+
+namespace {
+std::vector<double> length_histogram(const std::vector<std::string>& set,
+                                     std::size_t max_length) {
+  std::vector<double> hist(max_length + 1, 0.0);
+  for (const auto& password : set) {
+    const std::size_t len = std::min(password.size(), max_length);
+    hist[len] += 1.0;
+  }
+  return hist;
+}
+
+// Character marginals per position over bytes 0..255, averaged JSD.
+double positional_charset_jsd(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b,
+                              std::size_t max_length) {
+  double total = 0.0;
+  std::size_t positions = 0;
+  for (std::size_t pos = 0; pos < max_length; ++pos) {
+    std::vector<double> pa(257, 0.0), pb(257, 0.0);  // 256 = "no char"
+    for (const auto& s : a) {
+      if (pos < s.size()) {
+        pa[static_cast<unsigned char>(s[pos])] += 1.0;
+      } else {
+        pa[256] += 1.0;
+      }
+    }
+    for (const auto& s : b) {
+      if (pos < s.size()) {
+        pb[static_cast<unsigned char>(s[pos])] += 1.0;
+      } else {
+        pb[256] += 1.0;
+      }
+    }
+    total += jensen_shannon(pa, pb);
+    ++positions;
+  }
+  return positions > 0 ? total / static_cast<double>(positions) : 0.0;
+}
+
+double structure_jsd(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  std::map<std::string, std::pair<double, double>> counts;
+  for (const auto& s : a) {
+    counts[baselines::structure_to_string(baselines::parse_structure(s))]
+        .first += 1.0;
+  }
+  for (const auto& s : b) {
+    counts[baselines::structure_to_string(baselines::parse_structure(s))]
+        .second += 1.0;
+  }
+  std::vector<double> p, q;
+  p.reserve(counts.size());
+  q.reserve(counts.size());
+  for (const auto& [_, pair] : counts) {
+    p.push_back(pair.first);
+    q.push_back(pair.second);
+  }
+  return jensen_shannon(p, q);
+}
+}  // namespace
+
+QualityReport compare_sample_quality(
+    const std::vector<std::string>& generated,
+    const std::vector<std::string>& reference, std::size_t max_length) {
+  if (generated.empty() || reference.empty()) {
+    throw std::invalid_argument("compare_sample_quality: empty input");
+  }
+  QualityReport report;
+  report.generated = generated.size();
+  report.reference = reference.size();
+  report.length_jsd = jensen_shannon(
+      length_histogram(generated, max_length),
+      length_histogram(reference, max_length));
+  report.charset_jsd =
+      positional_charset_jsd(generated, reference, max_length);
+  report.structure_jsd = structure_jsd(generated, reference);
+  return report;
+}
+
+}  // namespace passflow::analysis

@@ -1,0 +1,164 @@
+#include "analysis/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace passflow::analysis {
+
+namespace {
+std::vector<std::vector<double>> pairwise_squared_distances(
+    const nn::Matrix& points) {
+  const std::size_t n = points.rows();
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < points.cols(); ++k) {
+        const double diff =
+            static_cast<double>(points(i, k)) - points(j, k);
+        acc += diff * diff;
+      }
+      d2[i][j] = acc;
+      d2[j][i] = acc;
+    }
+  }
+  return d2;
+}
+}  // namespace
+
+double perplexity_beta(const std::vector<double>& squared_distances,
+                       std::size_t self_index, double perplexity) {
+  // Find beta (precision) so the conditional distribution's entropy matches
+  // log(perplexity).
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = 0.0, beta_max = 1e12;
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum_p = 0.0, sum_dp = 0.0;
+    for (std::size_t j = 0; j < squared_distances.size(); ++j) {
+      if (j == self_index) continue;
+      const double p = std::exp(-beta * squared_distances[j]);
+      sum_p += p;
+      sum_dp += squared_distances[j] * p;
+    }
+    if (sum_p <= 0.0) {
+      beta /= 2.0;
+      continue;
+    }
+    // H = log(sum_p) + beta * E[d^2]
+    const double entropy = std::log(sum_p) + beta * sum_dp / sum_p;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = beta_max > 1e11 ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  return beta;
+}
+
+nn::Matrix tsne_embed(const nn::Matrix& points, TsneConfig config) {
+  const std::size_t n = points.rows();
+  if (n < 4) throw std::invalid_argument("tsne_embed requires >= 4 points");
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  const auto d2 = pairwise_squared_distances(points);
+
+  // Symmetrized joint probabilities P.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double beta = perplexity_beta(d2[i], i, perplexity);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p[i][j] = std::exp(-beta * d2[i][j]);
+      sum += p[i][j];
+    }
+    if (sum > 0.0) {
+      for (std::size_t j = 0; j < n; ++j) p[i][j] /= sum;
+    }
+  }
+  double p_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double symmetric = (p[i][j] + p[j][i]) / (2.0 * n);
+      p[i][j] = p[j][i] = std::max(symmetric, 1e-12);
+      p_total += 2.0 * p[i][j];
+    }
+  }
+  (void)p_total;
+
+  util::Rng rng(config.seed);
+  nn::Matrix y(n, config.output_dim);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = static_cast<float>(rng.normal(0.0, 1e-2));
+  }
+  nn::Matrix velocity(n, config.output_dim);
+
+  std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    // Low momentum during early exaggeration, as in the reference
+    // implementation; prevents oscillation blow-ups on small point sets.
+    const double momentum =
+        iter < config.exaggeration_iters ? 0.5 : config.momentum;
+
+    // Student-t similarities Q.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < config.output_dim; ++k) {
+          const double diff = static_cast<double>(y(i, k)) - y(j, k);
+          acc += diff * diff;
+        }
+        const double num = 1.0 / (1.0 + acc);
+        q[i][j] = q[j][i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+
+    // Gradient dC/dy_i = 4 sum_j (exag*P_ij - Q_ij) num_ij (y_i - y_j).
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(config.output_dim, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double num = q[i][j];
+        const double q_norm = std::max(num / q_sum, 1e-12);
+        const double coeff = 4.0 * (exaggeration * p[i][j] - q_norm) * num;
+        for (std::size_t k = 0; k < config.output_dim; ++k) {
+          grad[k] += coeff * (static_cast<double>(y(i, k)) - y(j, k));
+        }
+      }
+      for (std::size_t k = 0; k < config.output_dim; ++k) {
+        double step = momentum * velocity(i, k) -
+                      config.learning_rate * grad[k];
+        // Clamp the per-coordinate step: guards against divergence when the
+        // learning rate is large relative to the point count.
+        step = std::clamp(step, -config.max_step, config.max_step);
+        velocity(i, k) = static_cast<float>(step);
+        y(i, k) += velocity(i, k);
+      }
+    }
+
+    // Re-center to keep the embedding bounded.
+    for (std::size_t k = 0; k < config.output_dim; ++k) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y(i, k);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        y(i, k) -= static_cast<float>(mean);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace passflow::analysis

@@ -1,0 +1,32 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for Figure 2's 2-D projection
+// of latent neighborhoods. O(N^2) per iteration — Figure 2 projects a few
+// hundred points, where exact t-SNE is both faster and more faithful than
+// Barnes-Hut.
+#pragma once
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::analysis {
+
+struct TsneConfig {
+  std::size_t output_dim = 2;
+  double perplexity = 30.0;
+  std::size_t iterations = 500;
+  double learning_rate = 50.0;
+  double momentum = 0.8;
+  double max_step = 3.0;  // per-coordinate step clamp (divergence guard)
+  double early_exaggeration = 4.0;
+  std::size_t exaggeration_iters = 100;
+  std::uint64_t seed = 53;
+};
+
+// Embeds `points` (N x D) into (N x output_dim). Requires N >= 4.
+nn::Matrix tsne_embed(const nn::Matrix& points, TsneConfig config = {});
+
+// Binary-search for the Gaussian bandwidth matching the target perplexity of
+// one row of squared distances; exposed for testing.
+double perplexity_beta(const std::vector<double>& squared_distances,
+                       std::size_t self_index, double perplexity);
+
+}  // namespace passflow::analysis

@@ -1,0 +1,201 @@
+#include "baselines/cwae.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "util/logging.hpp"
+
+namespace passflow::baselines {
+
+double imq_mmd_with_grad(const nn::Matrix& z, const nn::Matrix& prior,
+                         nn::Matrix& grad_z, double scale) {
+  const std::size_t m = z.rows();
+  const std::size_t n = prior.rows();
+  const std::size_t d = z.cols();
+  grad_z = nn::Matrix(m, d);
+  if (m < 2 || n < 2) return 0.0;
+
+  // C = 2 * d * scale^2, the WAE paper's recommended IMQ constant.
+  const double c = 2.0 * static_cast<double>(d) * scale * scale;
+
+  auto kernel = [&](const float* a, const float* b, double& sq) {
+    sq = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double diff = static_cast<double>(a[k]) - b[k];
+      sq += diff * diff;
+    }
+    return c / (c + sq);
+  };
+
+  double mmd = 0.0;
+
+  // z-z term: + 2/(m(m-1)) * sum_{i<j} k(z_i, z_j), gradient flows to both.
+  const double zz_coeff = 1.0 / (static_cast<double>(m) * (m - 1));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      double sq = 0.0;
+      const double k = kernel(z.row(i), z.row(j), sq);
+      mmd += 2.0 * zz_coeff * k;
+      // dk/da = -2 C (a-b) / (C+sq)^2
+      const double gk = -2.0 * c / ((c + sq) * (c + sq));
+      for (std::size_t t = 0; t < d; ++t) {
+        const double diff = static_cast<double>(z(i, t)) - z(j, t);
+        grad_z(i, t) += static_cast<float>(2.0 * zz_coeff * gk * diff);
+        grad_z(j, t) -= static_cast<float>(2.0 * zz_coeff * gk * diff);
+      }
+    }
+  }
+
+  // prior-prior term: constant w.r.t. z, contributes to the value only.
+  const double pp_coeff = 1.0 / (static_cast<double>(n) * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double sq = 0.0;
+      mmd += 2.0 * pp_coeff * kernel(prior.row(i), prior.row(j), sq);
+    }
+  }
+
+  // cross term: - 2/(mn) * sum_{i,j} k(z_i, y_j).
+  const double cross_coeff = 2.0 / (static_cast<double>(m) * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sq = 0.0;
+      const double k = kernel(z.row(i), prior.row(j), sq);
+      mmd -= cross_coeff * k;
+      const double gk = -2.0 * c / ((c + sq) * (c + sq));
+      for (std::size_t t = 0; t < d; ++t) {
+        const double diff = static_cast<double>(z(i, t)) - prior(j, t);
+        grad_z(i, t) -= static_cast<float>(cross_coeff * gk * diff);
+      }
+    }
+  }
+  return mmd;
+}
+
+Cwae::Cwae(const data::Encoder& encoder, CwaeConfig config, util::Rng& rng)
+    : encoder_(&encoder),
+      config_(config),
+      encoder_net_(encoder.dim(), config.encoder_hidden, config.latent_dim,
+                   rng, nn::ActKind::kRelu, /*has_final_act=*/false,
+                   nn::ActKind::kTanh, "cwae.enc"),
+      decoder_net_(config.latent_dim, config.decoder_hidden, encoder.dim(),
+                   rng, nn::ActKind::kRelu, /*has_final_act=*/true,
+                   nn::ActKind::kSigmoid, "cwae.dec") {
+  std::vector<nn::Param*> params = encoder_net_.parameters();
+  const auto dec = decoder_net_.parameters();
+  params.insert(params.end(), dec.begin(), dec.end());
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.learning_rate;
+  adam.clip_norm = 5.0;
+  optimizer_ = std::make_unique<nn::Adam>(params, adam);
+}
+
+std::size_t Cwae::parameter_count() {
+  return encoder_net_.parameter_count() + decoder_net_.parameter_count();
+}
+
+double Cwae::train_batch(const nn::Matrix& noisy, const nn::Matrix& clean,
+                         util::Rng& rng) {
+  encoder_net_.zero_grad();
+  decoder_net_.zero_grad();
+
+  const nn::Matrix z = encoder_net_.forward(noisy);
+  const nn::Matrix reconstruction = decoder_net_.forward(z);
+
+  const std::size_t count = clean.rows();
+  // Reconstruction: mean squared error against the *clean* target.
+  nn::Matrix grad_rec = reconstruction;
+  nn::sub_inplace(grad_rec, clean);
+  double rec_loss = nn::squared_sum(grad_rec) / static_cast<double>(count);
+  nn::scale_inplace(grad_rec, 2.0f / static_cast<float>(count));
+
+  // MMD penalty against prior samples.
+  nn::Matrix prior(z.rows(), z.cols());
+  for (std::size_t i = 0; i < prior.size(); ++i) {
+    prior.data()[i] = static_cast<float>(rng.normal());
+  }
+  nn::Matrix grad_mmd;
+  const double mmd = imq_mmd_with_grad(z, prior, grad_mmd);
+
+  nn::Matrix grad_z = decoder_net_.backward(grad_rec);
+  nn::axpy_inplace(grad_z, static_cast<float>(config_.mmd_weight), grad_mmd);
+  encoder_net_.backward(grad_z);
+
+  optimizer_->step();
+  return rec_loss + config_.mmd_weight * mmd;
+}
+
+double Cwae::train(const std::vector<std::string>& passwords) {
+  util::Rng rng(config_.seed);
+  const std::size_t dim = encoder_->dim();
+  const float pad_value = 0.5f * encoder_->bin_width();  // PAD bin center
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng.permutation(passwords.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < passwords.size();
+         start += config_.batch_size) {
+      const std::size_t count =
+          std::min(config_.batch_size, passwords.size() - start);
+      if (count < 4) break;  // MMD needs a non-degenerate batch
+      nn::Matrix clean(count, dim);
+      nn::Matrix noisy(count, dim);
+      for (std::size_t r = 0; r < count; ++r) {
+        const std::string& password = passwords[perm[start + r]];
+        const auto features = encoder_->encode_dequantized(password, rng);
+        std::copy(features.begin(), features.end(), clean.row(r));
+        std::copy(features.begin(), features.end(), noisy.row(r));
+        // Context noise: drop each character with prob epsilon/|x| (§VI-C).
+        const double drop_p =
+            password.empty() ? 0.0
+                             : config_.epsilon /
+                                   static_cast<double>(password.size());
+        for (std::size_t c = 0; c < password.size(); ++c) {
+          if (rng.bernoulli(std::min(0.9, drop_p))) {
+            noisy(r, c) = pad_value;
+          }
+        }
+      }
+      epoch_loss += train_batch(noisy, clean, rng);
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    PF_LOG_DEBUG << "cwae epoch " << epoch << " loss=" << last_epoch_loss;
+  }
+  return last_epoch_loss;
+}
+
+nn::Matrix Cwae::decode_latent(const nn::Matrix& z) {
+  return decoder_net_.forward_inference(z);
+}
+
+nn::Matrix Cwae::encode_features(const nn::Matrix& x) {
+  return encoder_net_.forward_inference(x);
+}
+
+CwaeSampler::CwaeSampler(Cwae& model, const data::Encoder& encoder,
+                         std::uint64_t seed)
+    : model_(&model), encoder_(&encoder), rng_(seed) {}
+
+void CwaeSampler::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  const std::size_t batch_size = 2048;
+  std::size_t produced = 0;
+  while (produced < n) {
+    const std::size_t count = std::min(batch_size, n - produced);
+    nn::Matrix z(count, model_->config().latent_dim);
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z.data()[i] = static_cast<float>(rng_.normal());
+    }
+    const nn::Matrix x = model_->decode_latent(z);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out.push_back(encoder_->decode(x.row(r), x.cols()));
+    }
+    produced += count;
+  }
+}
+
+}  // namespace passflow::baselines

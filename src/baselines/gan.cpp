@@ -1,0 +1,197 @@
+#include "baselines/gan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "util/logging.hpp"
+
+namespace passflow::baselines {
+
+namespace {
+// Numerically stable binary-cross-entropy-with-logits pieces.
+double softplus(double x) {
+  return x > 0.0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+}
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+GanConfig passgan_config() {
+  GanConfig config;
+  config.generator_hidden = {128};
+  config.discriminator_hidden = {128};
+  config.smoothing_noise = 0.0;
+  config.label = "PassGAN";
+  config.seed = 41;
+  return config;
+}
+
+GanConfig pasquini_gan_config() {
+  GanConfig config;
+  config.generator_hidden = {256, 256, 256};
+  config.discriminator_hidden = {256, 256};
+  config.smoothing_noise = 0.02;
+  config.label = "GAN-Pasquini";
+  config.seed = 43;
+  return config;
+}
+
+Gan::Gan(const data::Encoder& encoder, GanConfig config, util::Rng& rng)
+    : encoder_(&encoder),
+      config_(config),
+      generator_(config.noise_dim, config.generator_hidden, encoder.dim(),
+                 rng, nn::ActKind::kRelu, /*has_final_act=*/true,
+                 nn::ActKind::kSigmoid, config.label + ".gen"),
+      discriminator_(encoder.dim(), config.discriminator_hidden, 1, rng,
+                     nn::ActKind::kLeakyRelu, /*has_final_act=*/false,
+                     nn::ActKind::kTanh, config.label + ".disc") {
+  nn::AdamConfig g_adam;
+  g_adam.learning_rate = config_.learning_rate;
+  g_adam.beta1 = 0.5;  // standard GAN setting
+  g_adam.clip_norm = 5.0;
+  g_optimizer_ = std::make_unique<nn::Adam>(generator_.parameters(), g_adam);
+
+  nn::AdamConfig d_adam = g_adam;
+  d_adam.weight_decay = config_.discriminator_weight_decay;
+  d_optimizer_ =
+      std::make_unique<nn::Adam>(discriminator_.parameters(), d_adam);
+}
+
+nn::Matrix Gan::sample_noise(std::size_t count, util::Rng& rng) {
+  nn::Matrix noise(count, config_.noise_dim);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    noise.data()[i] = static_cast<float>(rng.normal());
+  }
+  return noise;
+}
+
+double Gan::discriminator_step(const nn::Matrix& real, util::Rng& rng) {
+  const std::size_t count = real.rows();
+
+  // Smoothed copies of real and fake batches (Pasquini et al.'s trick).
+  nn::Matrix real_input = real;
+  nn::Matrix fake_input =
+      generator_.forward_inference(sample_noise(count, rng));
+  if (config_.smoothing_noise > 0.0) {
+    for (std::size_t i = 0; i < real_input.size(); ++i) {
+      real_input.data()[i] +=
+          static_cast<float>(rng.normal(0.0, config_.smoothing_noise));
+      fake_input.data()[i] +=
+          static_cast<float>(rng.normal(0.0, config_.smoothing_noise));
+    }
+  }
+
+  // Real pass: L = mean softplus(-logit); dL/dlogit = (sigmoid(l) - 1)/n.
+  discriminator_.zero_grad();
+  nn::Matrix real_logits = discriminator_.forward(real_input);
+  double loss = 0.0;
+  nn::Matrix grad_real(real_logits.rows(), 1);
+  for (std::size_t r = 0; r < real_logits.rows(); ++r) {
+    const double logit = real_logits(r, 0);
+    loss += softplus(-logit);
+    grad_real(r, 0) =
+        static_cast<float>((sigmoid(logit) - 1.0) / static_cast<double>(count));
+  }
+  discriminator_.backward(grad_real);
+
+  // Fake pass: L = mean softplus(logit); dL/dlogit = sigmoid(l)/n.
+  nn::Matrix fake_logits = discriminator_.forward(fake_input);
+  nn::Matrix grad_fake(fake_logits.rows(), 1);
+  for (std::size_t r = 0; r < fake_logits.rows(); ++r) {
+    const double logit = fake_logits(r, 0);
+    loss += softplus(logit);
+    grad_fake(r, 0) =
+        static_cast<float>(sigmoid(logit) / static_cast<double>(count));
+  }
+  discriminator_.backward(grad_fake);
+
+  d_optimizer_->step();
+  return loss / static_cast<double>(count);
+}
+
+double Gan::generator_step(std::size_t count, util::Rng& rng) {
+  generator_.zero_grad();
+  discriminator_.zero_grad();  // D grads accumulate but are discarded
+
+  nn::Matrix fake = generator_.forward(sample_noise(count, rng));
+  nn::Matrix logits = discriminator_.forward(fake);
+
+  // Non-saturating loss: L = mean softplus(-logit); push fakes toward real.
+  double loss = 0.0;
+  nn::Matrix grad_logits(logits.rows(), 1);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double logit = logits(r, 0);
+    loss += softplus(-logit);
+    grad_logits(r, 0) =
+        static_cast<float>((sigmoid(logit) - 1.0) / static_cast<double>(count));
+  }
+  const nn::Matrix grad_fake = discriminator_.backward(grad_logits);
+  generator_.backward(grad_fake);
+
+  g_optimizer_->step();
+  discriminator_.zero_grad();  // drop the D grads produced above
+  return loss / static_cast<double>(count);
+}
+
+std::vector<Gan::EpochLosses> Gan::train(
+    const std::vector<std::string>& passwords) {
+  util::Rng rng(config_.seed);
+  std::vector<EpochLosses> history;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng.permutation(passwords.size());
+    EpochLosses losses;
+    std::size_t steps = 0;
+    for (std::size_t start = 0; start + config_.batch_size <= passwords.size();
+         start += config_.batch_size) {
+      nn::Matrix real(config_.batch_size, encoder_->dim());
+      for (std::size_t r = 0; r < config_.batch_size; ++r) {
+        const auto features = encoder_->encode_dequantized(
+            passwords[perm[start + r]], rng);
+        std::copy(features.begin(), features.end(), real.row(r));
+      }
+      for (std::size_t k = 0; k < config_.discriminator_steps; ++k) {
+        losses.discriminator += discriminator_step(real, rng);
+      }
+      losses.generator += generator_step(config_.batch_size, rng);
+      ++steps;
+    }
+    if (steps > 0) {
+      losses.discriminator /=
+          static_cast<double>(steps * config_.discriminator_steps);
+      losses.generator /= static_cast<double>(steps);
+    }
+    history.push_back(losses);
+    PF_LOG_DEBUG << config_.label << " epoch " << epoch
+                 << " d_loss=" << losses.discriminator
+                 << " g_loss=" << losses.generator;
+  }
+  return history;
+}
+
+nn::Matrix Gan::generate_features(const nn::Matrix& noise) {
+  return generator_.forward_inference(noise);
+}
+
+GanSampler::GanSampler(Gan& model, const data::Encoder& encoder,
+                       std::uint64_t seed)
+    : model_(&model), encoder_(&encoder), rng_(seed) {}
+
+void GanSampler::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  const std::size_t batch_size = 2048;
+  std::size_t produced = 0;
+  while (produced < n) {
+    const std::size_t count = std::min(batch_size, n - produced);
+    nn::Matrix noise(count, model_->noise_dim());
+    for (std::size_t i = 0; i < noise.size(); ++i) {
+      noise.data()[i] = static_cast<float>(rng_.normal());
+    }
+    const nn::Matrix x = model_->generate_features(noise);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out.push_back(encoder_->decode(x.row(r), x.cols()));
+    }
+    produced += count;
+  }
+}
+
+}  // namespace passflow::baselines

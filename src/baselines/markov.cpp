@@ -1,0 +1,117 @@
+#include "baselines/markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace passflow::baselines {
+
+MarkovModel::MarkovModel(const data::Alphabet& alphabet, std::size_t order,
+                         std::size_t max_length, double add_k)
+    : alphabet_(&alphabet),
+      order_(order),
+      max_length_(max_length),
+      add_k_(add_k),
+      end_symbol_(alphabet.size()) {}
+
+std::string MarkovModel::context_key(const std::string& password,
+                                     std::size_t pos) const {
+  // Context = up to `order` characters before `pos`, left-padded with '\1'
+  // (a start marker outside every alphabet).
+  std::string key;
+  for (std::size_t back = order_; back > 0; --back) {
+    if (pos >= back) {
+      key += password[pos - back];
+    } else {
+      key += '\1';
+    }
+  }
+  return key;
+}
+
+void MarkovModel::train(const std::vector<std::string>& passwords) {
+  const std::size_t symbols = alphabet_->size() + 1;  // + end marker
+  for (const std::string& password : passwords) {
+    if (password.size() > max_length_ || !alphabet_->validates(password)) {
+      continue;  // skip unrepresentable entries, as dataset ingestion does
+    }
+    for (std::size_t pos = 0; pos <= password.size(); ++pos) {
+      CountRow& row = table_[context_key(password, pos)];
+      if (row.empty()) row.assign(symbols, 0.0);
+      if (pos == password.size()) {
+        row[end_symbol_] += 1.0;
+      } else {
+        const auto code = alphabet_->code_of(password[pos]);
+        row[*code] += 1.0;
+      }
+    }
+  }
+  trained_ = true;
+}
+
+const MarkovModel::CountRow* MarkovModel::row_for(
+    const std::string& context) const {
+  const auto it = table_.find(context);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::string MarkovModel::sample(util::Rng& rng) const {
+  if (!trained_) throw std::logic_error("MarkovModel::sample before train");
+  const std::size_t symbols = alphabet_->size() + 1;
+  std::string password;
+  while (password.size() < max_length_) {
+    const CountRow* row = row_for(context_key(password, password.size()));
+    double total = 0.0;
+    for (std::size_t s = 1; s < symbols; ++s) {  // skip PAD (code 0)
+      total += (row ? (*row)[s] : 0.0) + add_k_;
+    }
+    double r = rng.uniform() * total;
+    std::size_t chosen = end_symbol_;
+    for (std::size_t s = 1; s < symbols; ++s) {
+      r -= (row ? (*row)[s] : 0.0) + add_k_;
+      if (r <= 0.0) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == end_symbol_) break;
+    password += alphabet_->char_of(chosen);
+  }
+  return password;
+}
+
+double MarkovModel::log_prob(const std::string& password) const {
+  if (!trained_) throw std::logic_error("MarkovModel::log_prob before train");
+  if (password.size() > max_length_ || !alphabet_->validates(password)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const std::size_t symbols = alphabet_->size() + 1;
+  double log_p = 0.0;
+  for (std::size_t pos = 0; pos <= password.size(); ++pos) {
+    const CountRow* row = row_for(context_key(password, pos));
+    double total = 0.0;
+    for (std::size_t s = 1; s < symbols; ++s) {
+      total += (row ? (*row)[s] : 0.0) + add_k_;
+    }
+    const std::size_t target =
+        pos == password.size()
+            ? end_symbol_
+            : *alphabet_->code_of(password[pos]);
+    const double count = (row ? (*row)[target] : 0.0) + add_k_;
+    log_p += std::log(count / total);
+  }
+  return log_p;
+}
+
+MarkovSampler::MarkovSampler(const MarkovModel& model, std::uint64_t seed)
+    : model_(&model), rng_(seed) {}
+
+void MarkovSampler::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(model_->sample(rng_));
+}
+
+std::string MarkovSampler::name() const {
+  return "Markov-" + std::to_string(model_->order());
+}
+
+}  // namespace passflow::baselines

@@ -1,0 +1,66 @@
+// Character-level Markov (n-gram) password model.
+//
+// The classic pre-neural comparator the paper's related work cites (JtR's
+// Markov mode, [2]; Melicher et al. [30] show neural nets beat it). Included
+// as an extra baseline and as a sanity anchor for the benches: a learned
+// flow should clearly beat order-0, and a healthy order-3 model is a strong
+// cheap opponent on structured corpora.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/alphabet.hpp"
+#include "guessing/generator.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::baselines {
+
+class MarkovModel {
+ public:
+  // `order` = number of context characters (0 = unigram). `add_k` is the
+  // Laplace smoothing constant.
+  MarkovModel(const data::Alphabet& alphabet, std::size_t order,
+              std::size_t max_length, double add_k = 0.05);
+
+  void train(const std::vector<std::string>& passwords);
+
+  // Samples one password (terminates on the end symbol or max_length).
+  std::string sample(util::Rng& rng) const;
+
+  // Log-probability of a password under the model (natural log).
+  double log_prob(const std::string& password) const;
+
+  std::size_t order() const { return order_; }
+  std::size_t context_count() const { return table_.size(); }
+
+ private:
+  // Counts per context; index = symbol code (size+1 with end-of-string).
+  using CountRow = std::vector<double>;
+
+  std::string context_key(const std::string& password, std::size_t pos) const;
+  const CountRow* row_for(const std::string& context) const;
+
+  const data::Alphabet* alphabet_;
+  std::size_t order_;
+  std::size_t max_length_;
+  double add_k_;
+  std::size_t end_symbol_;  // code used for end-of-password
+  std::unordered_map<std::string, CountRow> table_;
+  bool trained_ = false;
+};
+
+class MarkovSampler : public guessing::GuessGenerator {
+ public:
+  MarkovSampler(const MarkovModel& model, std::uint64_t seed = 47);
+
+  void generate(std::size_t n, std::vector<std::string>& out) override;
+  std::string name() const override;
+
+ private:
+  const MarkovModel* model_;
+  util::Rng rng_;
+};
+
+}  // namespace passflow::baselines

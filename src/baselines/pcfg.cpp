@@ -1,0 +1,272 @@
+#include "baselines/pcfg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace passflow::baselines {
+
+SegmentClass classify_char(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+    return SegmentClass::kLetter;
+  }
+  if (c >= '0' && c <= '9') return SegmentClass::kDigit;
+  return SegmentClass::kSymbol;
+}
+
+Structure parse_structure(const std::string& password) {
+  Structure structure;
+  for (char c : password) {
+    const SegmentClass cls = classify_char(c);
+    if (!structure.empty() && structure.back().cls == cls) {
+      ++structure.back().length;
+    } else {
+      structure.push_back({cls, 1});
+    }
+  }
+  return structure;
+}
+
+std::string structure_to_string(const Structure& structure) {
+  std::string out;
+  for (const Segment& segment : structure) {
+    out += static_cast<char>(segment.cls);
+    out += std::to_string(segment.length);
+  }
+  return out;
+}
+
+PcfgModel::PcfgModel(std::size_t max_length) : max_length_(max_length) {}
+
+std::string PcfgModel::table_key(const Segment& segment) {
+  return std::string(1, static_cast<char>(segment.cls)) +
+         std::to_string(segment.length);
+}
+
+void PcfgModel::train(const std::vector<std::string>& passwords) {
+  std::map<std::string, std::pair<Structure, double>> structure_counts;
+  double total = 0.0;
+  for (const std::string& password : passwords) {
+    if (password.empty() || password.size() > max_length_) continue;
+    const Structure structure = parse_structure(password);
+    auto& entry = structure_counts[structure_to_string(structure)];
+    entry.first = structure;
+    entry.second += 1.0;
+    total += 1.0;
+
+    std::size_t offset = 0;
+    for (const Segment& segment : structure) {
+      const std::string value = password.substr(offset, segment.length);
+      offset += segment.length;
+      TerminalTable& table = terminals_[table_key(segment)];
+      const auto it = table.index.find(value);
+      if (it == table.index.end()) {
+        table.index.emplace(value, table.values.size());
+        table.values.emplace_back(value, 1.0);
+      } else {
+        table.values[it->second].second += 1.0;
+      }
+      table.total += 1.0;
+    }
+  }
+  if (total == 0.0) {
+    throw std::invalid_argument("PCFG training corpus is empty/unusable");
+  }
+
+  structures_.clear();
+  for (auto& [_, entry] : structure_counts) {
+    StructureEntry se;
+    se.structure = entry.first;
+    se.probability = entry.second / total;
+    structures_.push_back(std::move(se));
+  }
+  finalize();
+}
+
+void PcfgModel::finalize() {
+  for (auto& [_, table] : terminals_) {
+    std::sort(table.values.begin(), table.values.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    table.index.clear();
+    for (std::size_t i = 0; i < table.values.size(); ++i) {
+      table.index.emplace(table.values[i].first, i);
+    }
+  }
+  for (auto& entry : structures_) {
+    entry.tables.clear();
+    for (const Segment& segment : entry.structure) {
+      entry.tables.push_back(&terminals_.at(table_key(segment)));
+    }
+  }
+  std::sort(structures_.begin(), structures_.end(),
+            [](const auto& a, const auto& b) {
+              return a.probability > b.probability;
+            });
+  finalized_ = true;
+}
+
+double PcfgModel::log_prob(const std::string& password) const {
+  if (!finalized_) throw std::logic_error("PcfgModel::log_prob before train");
+  if (password.empty() || password.size() > max_length_) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const Structure structure = parse_structure(password);
+  const std::string key = structure_to_string(structure);
+  const auto it = std::find_if(
+      structures_.begin(), structures_.end(), [&](const auto& entry) {
+        return structure_to_string(entry.structure) == key;
+      });
+  if (it == structures_.end()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double log_p = std::log(it->probability);
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s < structure.size(); ++s) {
+    const std::string value = password.substr(offset, structure[s].length);
+    offset += structure[s].length;
+    const TerminalTable& table = *it->tables[s];
+    const auto vi = table.index.find(value);
+    if (vi == table.index.end()) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    log_p += std::log(table.values[vi->second].second / table.total);
+  }
+  return log_p;
+}
+
+std::string PcfgModel::sample(util::Rng& rng) const {
+  if (!finalized_) throw std::logic_error("PcfgModel::sample before train");
+  // Sample a structure proportional to probability.
+  double r = rng.uniform();
+  const StructureEntry* chosen = &structures_.back();
+  for (const auto& entry : structures_) {
+    r -= entry.probability;
+    if (r <= 0.0) {
+      chosen = &entry;
+      break;
+    }
+  }
+  std::string password;
+  for (const TerminalTable* table : chosen->tables) {
+    double t = rng.uniform() * table->total;
+    const auto& values = table->values;
+    std::size_t pick = values.size() - 1;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      t -= values[i].second;
+      if (t <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    password += values[pick].first;
+  }
+  return password;
+}
+
+namespace {
+// Priority-queue state for Weir et al.'s "next" algorithm: a structure plus
+// one terminal index per segment. Probability is the product of the
+// structure probability and the chosen terminals' probabilities.
+struct QueueState {
+  std::size_t structure_index;
+  std::vector<std::size_t> terminal_indices;
+  double log_prob;
+  // The position whose index was last incremented; successors only advance
+  // positions >= pivot, which guarantees each state is pushed exactly once.
+  std::size_t pivot;
+};
+
+struct StateCompare {
+  bool operator()(const QueueState& a, const QueueState& b) const {
+    return a.log_prob < b.log_prob;  // max-heap on probability
+  }
+};
+}  // namespace
+
+std::vector<std::string> PcfgModel::enumerate(std::size_t n) const {
+  if (!finalized_) throw std::logic_error("PcfgModel::enumerate before train");
+  std::priority_queue<QueueState, std::vector<QueueState>, StateCompare> queue;
+
+  auto state_log_prob = [&](const StructureEntry& entry,
+                            const std::vector<std::size_t>& indices) {
+    double log_p = std::log(entry.probability);
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      const TerminalTable& table = *entry.tables[s];
+      log_p += std::log(table.values[indices[s]].second / table.total);
+    }
+    return log_p;
+  };
+
+  for (std::size_t i = 0; i < structures_.size(); ++i) {
+    const StructureEntry& entry = structures_[i];
+    bool viable = true;
+    for (const TerminalTable* table : entry.tables) {
+      if (table->values.empty()) viable = false;
+    }
+    if (!viable) continue;
+    QueueState state;
+    state.structure_index = i;
+    state.terminal_indices.assign(entry.structure.size(), 0);
+    state.log_prob = state_log_prob(entry, state.terminal_indices);
+    state.pivot = 0;
+    queue.push(std::move(state));
+  }
+
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (!queue.empty() && out.size() < n) {
+    const QueueState state = queue.top();
+    queue.pop();
+    const StructureEntry& entry = structures_[state.structure_index];
+
+    std::string password;
+    for (std::size_t s = 0; s < state.terminal_indices.size(); ++s) {
+      password += entry.tables[s]->values[state.terminal_indices[s]].first;
+    }
+    out.push_back(std::move(password));
+
+    for (std::size_t s = state.pivot; s < state.terminal_indices.size();
+         ++s) {
+      if (state.terminal_indices[s] + 1 >= entry.tables[s]->values.size()) {
+        continue;
+      }
+      QueueState next = state;
+      ++next.terminal_indices[s];
+      next.pivot = s;
+      next.log_prob = state_log_prob(entry, next.terminal_indices);
+      queue.push(std::move(next));
+    }
+  }
+  return out;
+}
+
+PcfgSampler::PcfgSampler(const PcfgModel& model, std::uint64_t seed)
+    : model_(&model), rng_(seed) {}
+
+void PcfgSampler::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(model_->sample(rng_));
+}
+
+PcfgEnumerator::PcfgEnumerator(const PcfgModel& model) : model_(&model) {}
+
+void PcfgEnumerator::generate(std::size_t n, std::vector<std::string>& out) {
+  // Grow the enumeration buffer on demand; enumerate() restarts from the
+  // top, so amortize by doubling.
+  if (cursor_ + n > buffer_.size()) {
+    const std::size_t want = std::max(cursor_ + n, buffer_.size() * 2);
+    buffer_ = model_->enumerate(want);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cursor_ < buffer_.size()) {
+      out.push_back(buffer_[cursor_++]);
+    } else {
+      // Grammar exhausted: emit unmatchable filler so budgets stay exact.
+      out.push_back("");
+    }
+  }
+}
+
+}  // namespace passflow::baselines

@@ -1,0 +1,117 @@
+// Probabilistic context-free grammar password model (Weir et al., S&P 2009).
+//
+// The classic pre-neural state of the art the paper's related work opens
+// with (§VI): passwords are parsed into maximal character-class segments
+// (L=letters, D=digits, S=symbols), giving a "base structure" like L5D2;
+// the grammar learns P(structure) and P(terminal | class, length) from a
+// training corpus and emits guesses in decreasing probability order using
+// the "next" priority-queue algorithm from the original paper.
+//
+// Two generation modes:
+//  * enumerate(n): the faithful descending-probability enumeration;
+//  * PcfgSampler: i.i.d. sampling from the grammar (GuessGenerator
+//    interface, comparable to the neural models in the harness).
+#pragma once
+
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "guessing/generator.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::baselines {
+
+enum class SegmentClass : char { kLetter = 'L', kDigit = 'D', kSymbol = 'S' };
+
+struct Segment {
+  SegmentClass cls;
+  std::size_t length;
+  bool operator==(const Segment& other) const {
+    return cls == other.cls && length == other.length;
+  }
+};
+
+// A base structure is a sequence of segments, e.g. L5D2.
+using Structure = std::vector<Segment>;
+
+std::string structure_to_string(const Structure& structure);
+SegmentClass classify_char(char c);
+
+// Splits a password into maximal same-class runs.
+Structure parse_structure(const std::string& password);
+
+class PcfgModel {
+ public:
+  explicit PcfgModel(std::size_t max_length = 10);
+
+  // Learns structure and terminal probabilities from the corpus (entries
+  // longer than max_length are skipped, mirroring dataset ingestion).
+  void train(const std::vector<std::string>& passwords);
+
+  // Log-probability of a password under the grammar; -inf if its structure
+  // or any terminal was never observed.
+  double log_prob(const std::string& password) const;
+
+  // Top-n guesses in strictly non-increasing probability order.
+  std::vector<std::string> enumerate(std::size_t n) const;
+
+  // One i.i.d. sample from the grammar.
+  std::string sample(util::Rng& rng) const;
+
+  std::size_t structure_count() const { return structures_.size(); }
+  bool trained() const { return !structures_.empty(); }
+
+ private:
+  struct TerminalTable {
+    // Values with counts, sorted by descending count after finalize().
+    std::vector<std::pair<std::string, double>> values;
+    double total = 0.0;
+    std::unordered_map<std::string, std::size_t> index;
+  };
+
+  struct StructureEntry {
+    Structure structure;
+    double probability = 0.0;
+    std::vector<const TerminalTable*> tables;  // one per segment
+  };
+
+  static std::string table_key(const Segment& segment);
+  void finalize();
+
+  std::size_t max_length_;
+  std::vector<StructureEntry> structures_;  // sorted by descending prob
+  std::unordered_map<std::string, TerminalTable> terminals_;
+  bool finalized_ = false;
+};
+
+class PcfgSampler : public guessing::GuessGenerator {
+ public:
+  PcfgSampler(const PcfgModel& model, std::uint64_t seed = 83);
+
+  void generate(std::size_t n, std::vector<std::string>& out) override;
+  std::string name() const override { return "PCFG (Weir et al.)"; }
+
+ private:
+  const PcfgModel* model_;
+  util::Rng rng_;
+};
+
+// Enumerating generator: replays the descending-probability stream through
+// the GuessGenerator interface (the paper's rule-based anchor behavior).
+class PcfgEnumerator : public guessing::GuessGenerator {
+ public:
+  explicit PcfgEnumerator(const PcfgModel& model);
+
+  void generate(std::size_t n, std::vector<std::string>& out) override;
+  std::string name() const override { return "PCFG-enum (Weir et al.)"; }
+
+ private:
+  const PcfgModel* model_;
+  std::vector<std::string> buffer_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace passflow::baselines

@@ -1,0 +1,155 @@
+#include "baselines/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <unordered_map>
+
+namespace passflow::baselines {
+
+ManglingRule rule_identity() {
+  return {":", [](const std::string& word) { return word; }};
+}
+
+ManglingRule rule_capitalize() {
+  return {"c", [](const std::string& word) {
+            std::string out = word;
+            if (!out.empty()) {
+              out[0] = static_cast<char>(
+                  std::toupper(static_cast<unsigned char>(out[0])));
+            }
+            return out;
+          }};
+}
+
+ManglingRule rule_uppercase() {
+  return {"u", [](const std::string& word) {
+            std::string out = word;
+            for (char& c : out) {
+              c = static_cast<char>(
+                  std::toupper(static_cast<unsigned char>(c)));
+            }
+            return out;
+          }};
+}
+
+ManglingRule rule_reverse() {
+  return {"r", [](const std::string& word) {
+            return std::string(word.rbegin(), word.rend());
+          }};
+}
+
+ManglingRule rule_duplicate() {
+  return {"d", [](const std::string& word) { return word + word; }};
+}
+
+ManglingRule rule_leet() {
+  return {"leet", [](const std::string& word) {
+            std::string out = word;
+            for (char& c : out) {
+              switch (c) {
+                case 'a': c = '4'; break;
+                case 'e': c = '3'; break;
+                case 'i': c = '1'; break;
+                case 'o': c = '0'; break;
+                case 's': c = '5'; break;
+                default: break;
+              }
+            }
+            return out;
+          }};
+}
+
+ManglingRule rule_append(const std::string& suffix) {
+  return {"$" + suffix,
+          [suffix](const std::string& word) { return word + suffix; }};
+}
+
+ManglingRule rule_prepend(const std::string& prefix) {
+  return {"^" + prefix,
+          [prefix](const std::string& word) { return prefix + word; }};
+}
+
+ManglingRule rule_truncate(std::size_t length) {
+  return {"'" + std::to_string(length),
+          [length](const std::string& word) {
+            return word.size() > length ? word.substr(0, length) : word;
+          }};
+}
+
+ManglingRule rule_compose(std::string name, ManglingRule first,
+                          ManglingRule second) {
+  return {std::move(name),
+          [first = std::move(first.apply), second = std::move(second.apply)](
+              const std::string& word) { return second(first(word)); }};
+}
+
+std::vector<ManglingRule> default_ruleset() {
+  std::vector<ManglingRule> rules;
+  rules.push_back(rule_identity());
+  for (const char* suffix : {"1", "123", "12", "2", "!", "7", "69", "13",
+                             "11", "22", "01", "123456", "321", "00"}) {
+    rules.push_back(rule_append(suffix));
+  }
+  for (int year = 1985; year <= 2012; ++year) {
+    rules.push_back(rule_append(std::to_string(year)));
+    char two_digit[8];
+    std::snprintf(two_digit, sizeof(two_digit), "%02d", year % 100);
+    rules.push_back(rule_append(two_digit));
+  }
+  rules.push_back(rule_capitalize());
+  rules.push_back(rule_compose("c$1", rule_capitalize(), rule_append("1")));
+  rules.push_back(rule_compose("c$!", rule_capitalize(), rule_append("!")));
+  rules.push_back(rule_leet());
+  rules.push_back(rule_compose("leet$1", rule_leet(), rule_append("1")));
+  rules.push_back(rule_reverse());
+  rules.push_back(rule_duplicate());
+  rules.push_back(rule_prepend("1"));
+  rules.push_back(rule_uppercase());
+  return rules;
+}
+
+RuleEngine::RuleEngine(std::vector<std::string> wordlist,
+                       std::vector<ManglingRule> rules,
+                       std::size_t max_length)
+    : wordlist_(std::move(wordlist)),
+      rules_(std::move(rules)),
+      max_length_(max_length) {}
+
+void RuleEngine::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cursor_ >= capacity()) {
+      out.push_back("");  // exhausted: unmatchable filler keeps budgets exact
+      continue;
+    }
+    const std::size_t rule_index = cursor_ / wordlist_.size();
+    const std::size_t word_index = cursor_ % wordlist_.size();
+    ++cursor_;
+    std::string candidate =
+        rules_[rule_index].apply(wordlist_[word_index]);
+    if (candidate.size() > max_length_) candidate.resize(max_length_);
+    out.push_back(std::move(candidate));
+  }
+}
+
+std::vector<std::string> wordlist_from_corpus(
+    const std::vector<std::string>& corpus, std::size_t max_words) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const std::string& password : corpus) ++counts[password];
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  std::vector<std::string> wordlist;
+  wordlist.reserve(std::min(max_words, ranked.size()));
+  for (const auto& [word, _] : ranked) {
+    if (wordlist.size() >= max_words) break;
+    wordlist.push_back(word);
+  }
+  return wordlist;
+}
+
+}  // namespace passflow::baselines

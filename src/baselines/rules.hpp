@@ -1,0 +1,69 @@
+// Rule-based wordlist mangling — the HashCat / John-the-Ripper style
+// comparator the paper positions itself against (§I: "carefully generated
+// rules handcrafted by human experts").
+//
+// A RuleEngine pairs a wordlist with an ordered list of mangling rules and
+// streams candidate guesses: for each rule (in priority order), apply it to
+// every word. This reproduces the classic "wordlist + best64"-style attack
+// shape; default_ruleset() encodes the common human-expert patterns
+// (capitalize, append digits/years, leetspeak, suffix symbols, ...).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "guessing/generator.hpp"
+
+namespace passflow::baselines {
+
+struct ManglingRule {
+  std::string name;
+  std::function<std::string(const std::string&)> apply;
+};
+
+// Primitive transformations (composable building blocks).
+ManglingRule rule_identity();
+ManglingRule rule_capitalize();
+ManglingRule rule_uppercase();
+ManglingRule rule_reverse();
+ManglingRule rule_duplicate();
+ManglingRule rule_leet();                      // a->4, e->3, i->1, o->0, s->5
+ManglingRule rule_append(const std::string& suffix);
+ManglingRule rule_prepend(const std::string& prefix);
+ManglingRule rule_truncate(std::size_t length);
+ManglingRule rule_compose(std::string name, ManglingRule first,
+                          ManglingRule second);
+
+// A best64-flavored ordered ruleset: identity, digit suffixes, years,
+// capitalization, leet, combinations. Order encodes expert-judged priority.
+std::vector<ManglingRule> default_ruleset();
+
+class RuleEngine : public guessing::GuessGenerator {
+ public:
+  // `wordlist` should be ordered by descending frequency (the engine
+  // iterates rule-major, word-minor, like hashcat does).
+  RuleEngine(std::vector<std::string> wordlist,
+             std::vector<ManglingRule> rules, std::size_t max_length = 10);
+
+  void generate(std::size_t n, std::vector<std::string>& out) override;
+  std::string name() const override { return "Rules (HashCat-style)"; }
+
+  // Total candidates before exhaustion (rules x words).
+  std::size_t capacity() const { return wordlist_.size() * rules_.size(); }
+  bool exhausted() const { return cursor_ >= capacity(); }
+
+ private:
+  std::vector<std::string> wordlist_;
+  std::vector<ManglingRule> rules_;
+  std::size_t max_length_;
+  std::size_t cursor_ = 0;
+};
+
+// Builds a frequency-ordered wordlist from a training corpus (unique
+// passwords ordered by multiplicity) — what an attacker distills from a
+// previous leak.
+std::vector<std::string> wordlist_from_corpus(
+    const std::vector<std::string>& corpus, std::size_t max_words);
+
+}  // namespace passflow::baselines

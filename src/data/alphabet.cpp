@@ -1,0 +1,61 @@
+#include "data/alphabet.hpp"
+
+#include <stdexcept>
+
+namespace passflow::data {
+
+const Alphabet& Alphabet::standard() {
+  static const Alphabet instance(
+      "abcdefghijklmnopqrstuvwxyz0123456789"
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "!@#$%^&*._-+?");
+  return instance;
+}
+
+const Alphabet& Alphabet::compact() {
+  static const Alphabet instance("abcdefghijklmnopqrstuvwxyz0123456789");
+  return instance;
+}
+
+Alphabet::Alphabet(const std::string& symbols_without_pad) {
+  symbols_ = std::string(1, '\0') + symbols_without_pad;
+  code_table_.fill(-1);
+  for (std::size_t code = 0; code < symbols_.size(); ++code) {
+    const unsigned char uc = static_cast<unsigned char>(symbols_[code]);
+    if (code > 0 && code_table_[uc] != -1) {
+      throw std::invalid_argument("duplicate symbol in alphabet");
+    }
+    code_table_[uc] = static_cast<int>(code);
+  }
+}
+
+std::optional<std::size_t> Alphabet::code_of(char c) const {
+  const int code = code_table_[static_cast<unsigned char>(c)];
+  if (code < 0) return std::nullopt;
+  return static_cast<std::size_t>(code);
+}
+
+char Alphabet::char_of(std::size_t code) const {
+  if (code >= symbols_.size()) {
+    throw std::out_of_range("alphabet code out of range");
+  }
+  return symbols_[code];
+}
+
+bool Alphabet::validates(const std::string& s) const {
+  for (char c : s) {
+    if (c == '\0' || !contains(c)) return false;
+  }
+  return true;
+}
+
+std::string Alphabet::sanitize(const std::string& s, char fallback) const {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out += (c != '\0' && contains(c)) ? c : fallback;
+  }
+  return out;
+}
+
+}  // namespace passflow::data

@@ -1,0 +1,48 @@
+// Password alphabet: the discrete symbol set the flow models.
+//
+// Index 0 is reserved for PAD, which fills positions after the end of a
+// password so that every sample has a fixed length (the paper trains on
+// passwords of length <= 10 embedded in a 10-dimensional vector, §IV-D).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace passflow::data {
+
+class Alphabet {
+ public:
+  // Default alphabet: PAD + lowercase + digits + uppercase + common symbols.
+  // Ordered so that the dense regions of RockYou-like corpora (lowercase,
+  // digits) sit in a contiguous low range of codes, which makes the
+  // normalized feature space smoother for the flow.
+  static const Alphabet& standard();
+  // Compact alphabet (PAD + lowercase + digits) for fast unit tests.
+  static const Alphabet& compact();
+
+  explicit Alphabet(const std::string& symbols_without_pad);
+
+  std::size_t size() const { return symbols_.size(); }  // includes PAD
+
+  char pad() const { return '\0'; }
+  bool contains(char c) const { return code_of(c).has_value(); }
+
+  // Code for a character; nullopt if the character is outside the alphabet.
+  std::optional<std::size_t> code_of(char c) const;
+  // Character for a code; PAD maps to '\0'. Throws std::out_of_range.
+  char char_of(std::size_t code) const;
+
+  // True if every character of `s` is in the alphabet.
+  bool validates(const std::string& s) const;
+
+  // Replaces out-of-alphabet characters with the fallback symbol; used when
+  // ingesting external corpora.
+  std::string sanitize(const std::string& s, char fallback = 'a') const;
+
+ private:
+  std::string symbols_;                       // symbols_[code] = char, [0]=PAD
+  std::array<int, 256> code_table_;           // char -> code or -1
+};
+
+}  // namespace passflow::data

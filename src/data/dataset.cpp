@@ -1,0 +1,47 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace passflow::data {
+
+Dataset::Dataset(std::vector<std::string> passwords, const Encoder& encoder)
+    : passwords_(std::move(passwords)), encoder_(&encoder) {
+  if (passwords_.empty()) {
+    throw std::invalid_argument("Dataset requires at least one password");
+  }
+  for (const auto& p : passwords_) {
+    if (p.size() > encoder_->dim() ||
+        !encoder_->alphabet().validates(p)) {
+      throw std::invalid_argument("password not representable: " + p);
+    }
+  }
+  order_.resize(passwords_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+void Dataset::start_epoch(util::Rng& rng) {
+  order_ = rng.permutation(passwords_.size());
+  cursor_ = 0;
+}
+
+std::size_t Dataset::next_batch(std::size_t batch_size, util::Rng& rng,
+                                nn::Matrix& batch) {
+  const std::size_t remaining = passwords_.size() - cursor_;
+  const std::size_t count = std::min(batch_size, remaining);
+  if (count == 0) return 0;
+  batch = nn::Matrix(count, encoder_->dim());
+  for (std::size_t r = 0; r < count; ++r) {
+    const auto features =
+        encoder_->encode_dequantized(passwords_[order_[cursor_ + r]], rng);
+    std::copy(features.begin(), features.end(), batch.row(r));
+  }
+  cursor_ += count;
+  return count;
+}
+
+std::size_t Dataset::batches_per_epoch(std::size_t batch_size) const {
+  return (passwords_.size() + batch_size - 1) / batch_size;
+}
+
+}  // namespace passflow::data

@@ -1,0 +1,39 @@
+// Training dataset: password strings + shuffled, dequantized minibatches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/encoder.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::data {
+
+class Dataset {
+ public:
+  Dataset(std::vector<std::string> passwords, const Encoder& encoder);
+
+  std::size_t size() const { return passwords_.size(); }
+  const std::vector<std::string>& passwords() const { return passwords_; }
+  const Encoder& encoder() const { return *encoder_; }
+
+  // Begins a new epoch: reshuffles the sample order.
+  void start_epoch(util::Rng& rng);
+
+  // Fills `batch` with up to `batch_size` dequantized samples; returns the
+  // number of rows produced (0 at end of epoch).
+  std::size_t next_batch(std::size_t batch_size, util::Rng& rng,
+                         nn::Matrix& batch);
+
+  // Number of batches per epoch for a given batch size (ceil division).
+  std::size_t batches_per_epoch(std::size_t batch_size) const;
+
+ private:
+  std::vector<std::string> passwords_;
+  const Encoder* encoder_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace passflow::data

@@ -1,0 +1,97 @@
+#include "data/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace passflow::data {
+
+Encoder::Encoder(const Alphabet& alphabet, std::size_t max_length)
+    : alphabet_(&alphabet), max_length_(max_length) {
+  if (max_length == 0) throw std::invalid_argument("max_length must be > 0");
+}
+
+float Encoder::bin_width() const {
+  return 1.0f / static_cast<float>(alphabet_->size());
+}
+
+std::vector<float> Encoder::encode(const std::string& password) const {
+  if (password.size() > max_length_) {
+    throw std::invalid_argument("password longer than max_length: " + password);
+  }
+  const float inv = bin_width();
+  std::vector<float> features(max_length_);
+  for (std::size_t i = 0; i < max_length_; ++i) {
+    std::size_t code = 0;  // PAD
+    if (i < password.size()) {
+      const auto c = alphabet_->code_of(password[i]);
+      if (!c) {
+        throw std::invalid_argument("character outside alphabet in: " +
+                                    password);
+      }
+      code = *c;
+    }
+    features[i] = (static_cast<float>(code) + 0.5f) * inv;
+  }
+  return features;
+}
+
+std::vector<float> Encoder::encode_dequantized(const std::string& password,
+                                               util::Rng& rng) const {
+  std::vector<float> features = encode(password);
+  const float inv = bin_width();
+  for (float& f : features) {
+    // Replace the deterministic 0.5 bin offset with a uniform draw.
+    f += (static_cast<float>(rng.uniform()) - 0.5f) * inv;
+  }
+  return features;
+}
+
+std::string Encoder::decode(const float* features, std::size_t n) const {
+  const auto alphabet_size = static_cast<long>(alphabet_->size());
+  std::string password;
+  for (std::size_t i = 0; i < n; ++i) {
+    long code = static_cast<long>(
+        std::floor(static_cast<double>(features[i]) * alphabet_size));
+    code = std::clamp(code, 0L, alphabet_size - 1);
+    if (code == 0) break;  // PAD terminates the password
+    password += alphabet_->char_of(static_cast<std::size_t>(code));
+  }
+  return password;
+}
+
+std::string Encoder::decode(const std::vector<float>& features) const {
+  return decode(features.data(), features.size());
+}
+
+nn::Matrix Encoder::encode_batch(
+    const std::vector<std::string>& passwords) const {
+  nn::Matrix batch(passwords.size(), max_length_);
+  for (std::size_t r = 0; r < passwords.size(); ++r) {
+    const auto features = encode(passwords[r]);
+    std::copy(features.begin(), features.end(), batch.row(r));
+  }
+  return batch;
+}
+
+nn::Matrix Encoder::encode_batch_dequantized(
+    const std::vector<std::string>& passwords, util::Rng& rng) const {
+  nn::Matrix batch(passwords.size(), max_length_);
+  for (std::size_t r = 0; r < passwords.size(); ++r) {
+    const auto features = encode_dequantized(passwords[r], rng);
+    std::copy(features.begin(), features.end(), batch.row(r));
+  }
+  return batch;
+}
+
+std::vector<std::string> Encoder::decode_batch(
+    const nn::Matrix& features) const {
+  std::vector<std::string> out;
+  out.reserve(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    out.push_back(decode(features.row(r), features.cols()));
+  }
+  return out;
+}
+
+}  // namespace passflow::data

@@ -1,0 +1,55 @@
+// Password <-> feature-vector encoding (§IV-D).
+//
+// A password of length <= max_length becomes x in R^max_length with
+//   x_i = (code(char_i) + offset) / |alphabet|,
+// where offset is 0.5 for deterministic encoding (bin center) or a uniform
+// draw in [0,1) for dequantized training samples. Decoding inverts by
+// flooring x_i * |alphabet| and clamping — so every real vector decodes to
+// *some* password, which is exactly what lets the flow's continuous samples
+// be read back as guesses (and why collisions happen, §III-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/alphabet.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::data {
+
+class Encoder {
+ public:
+  Encoder(const Alphabet& alphabet, std::size_t max_length);
+
+  std::size_t dim() const { return max_length_; }
+  const Alphabet& alphabet() const { return *alphabet_; }
+
+  // Deterministic (bin-center) encoding. Throws std::invalid_argument if the
+  // password is too long or contains out-of-alphabet characters.
+  std::vector<float> encode(const std::string& password) const;
+
+  // Training encoding with uniform dequantization noise.
+  std::vector<float> encode_dequantized(const std::string& password,
+                                        util::Rng& rng) const;
+
+  // Inverse map: any real vector decodes to a password (PAD cuts the string).
+  std::string decode(const std::vector<float>& features) const;
+  std::string decode(const float* features, std::size_t n) const;
+
+  // Batched helpers used by trainers and samplers.
+  nn::Matrix encode_batch(const std::vector<std::string>& passwords) const;
+  nn::Matrix encode_batch_dequantized(const std::vector<std::string>& passwords,
+                                      util::Rng& rng) const;
+  std::vector<std::string> decode_batch(const nn::Matrix& features) const;
+
+  // Width of one code bin in normalized space, 1/|alphabet|. The data-space
+  // Gaussian Smoothing sigma is expressed in multiples of this.
+  float bin_width() const;
+
+ private:
+  const Alphabet* alphabet_;
+  std::size_t max_length_;
+};
+
+}  // namespace passflow::data

@@ -1,0 +1,58 @@
+#include "data/loader.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+namespace passflow::data {
+
+std::vector<std::string> load_password_lines(std::istream& in,
+                                             const Alphabet& alphabet,
+                                             const LoadOptions& options,
+                                             LoadStats* stats) {
+  LoadStats local;
+  std::vector<std::string> passwords;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++local.total_lines;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (options.lowercase) {
+      for (char& c : line) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    if (line.empty()) {
+      ++local.empty;
+      continue;
+    }
+    if (line.size() > options.max_length) {
+      ++local.too_long;
+      continue;
+    }
+    if (!alphabet.validates(line)) {
+      ++local.out_of_alphabet;
+      continue;
+    }
+    passwords.push_back(line);
+    ++local.kept;
+    if (options.max_entries > 0 && passwords.size() >= options.max_entries) {
+      break;
+    }
+  }
+  if (stats) *stats = local;
+  return passwords;
+}
+
+std::vector<std::string> load_password_file(const std::string& path,
+                                            const Alphabet& alphabet,
+                                            const LoadOptions& options,
+                                            LoadStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open password file: " + path);
+  return load_password_lines(in, alphabet, options, stats);
+}
+
+}  // namespace passflow::data

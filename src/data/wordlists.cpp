@@ -1,0 +1,101 @@
+#include "data/wordlists.hpp"
+
+namespace passflow::data {
+
+const std::vector<std::string>& common_passwords() {
+  static const std::vector<std::string> list = {
+      "123456",   "12345",    "123456789", "password", "iloveyou", "princess",
+      "1234567",  "rockyou",  "12345678",  "abc123",   "nicole",   "daniel",
+      "babygirl", "monkey",   "lovely",    "jessica",  "654321",   "michael",
+      "ashley",   "qwerty",   "111111",    "iloveu",   "000000",   "michelle",
+      "tigger",   "sunshine", "chocolate", "password1", "soccer",  "anthony",
+      "friends",  "butterfly", "purple",   "angel",    "jordan",   "liverpool",
+      "justin",   "loveme",   "fuckyou",   "123123",   "football", "secret",
+      "andrea",   "carlos",   "jennifer",  "joshua",   "bubbles",  "1234567890",
+      "superman", "hannah",   "amanda",    "loveyou",  "pretty",   "basketball",
+      "andrew",   "angels",   "tweety",    "flower",   "playboy",  "hello",
+      "elizabeth", "hottie",  "tinkerbell", "charlie", "samantha", "barbie",
+      "chelsea",  "lovers",   "teamo",     "jasmine",  "brandon",  "666666",
+      "shadow",   "melissa",  "eminem",    "matthew",  "robert",   "danielle",
+      "forever",  "family",   "jonathan",  "987654321", "computer", "whatever",
+      "dragon",   "vanessa",  "cookie",    "naruto",   "summer",   "sweety",
+      "spongebob", "joseph",  "junior",    "softball", "taylor",   "yellow",
+      "daniela",  "lauren",   "mickey",    "princesa", "alexandra", "alexis",
+      "jesus",    "estrella", "miguel",    "william",  "thomas",   "beautiful",
+      "victoria", "martin",   "cheese",    "fernando", "loveya",   "eduardo",
+      "sebastian", "rainbow", "nathan",    "killer",   "123321",   "jordan23",
+  };
+  return list;
+}
+
+const std::vector<std::string>& dictionary_words() {
+  static const std::vector<std::string> list = {
+      "love",    "angel",   "baby",    "star",    "rock",   "girl",   "boy",
+      "blue",    "pink",    "black",   "green",   "happy",  "crazy",  "sweet",
+      "magic",   "music",   "dance",   "dream",   "heart",  "smile",  "honey",
+      "candy",   "sugar",   "tiger",   "eagle",   "horse",  "puppy",  "kitty",
+      "panda",   "bunny",   "ninja",   "pirate",  "wizard", "knight", "queen",
+      "king",    "prince",  "diamond", "silver",  "golden", "cherry", "apple",
+      "mango",   "peach",   "lemon",   "berry",   "ocean",  "river",  "storm",
+      "thunder", "winter",  "spring",  "autumn",  "sunny",  "cloud",  "moon",
+      "light",   "shine",   "spark",   "flame",   "blaze",  "frost",  "snow",
+      "shark",   "wolf",    "lion",    "dolphin", "turtle", "falcon", "raven",
+      "cobra",   "viper",   "venom",   "ghost",   "spirit", "demon",  "devil",
+      "heaven",  "hell",    "lucky",   "money",   "power",  "super",  "mega",
+      "ultra",   "hyper",   "master",  "boss",    "chief",  "major",  "alpha",
+      "omega",   "delta",   "sigma",   "metal",   "steel",  "stone",  "brick",
+      "glass",   "crystal", "pearl",   "ruby",    "coral",  "ivory",  "amber",
+      "soccer",  "hockey",  "tennis",  "racing",  "skater", "surfer", "gamer",
+      "hunter",  "rider",   "flyer",   "runner",  "dancer", "singer", "player",
+      "winner",  "legend",  "hero",    "rebel",   "outlaw", "bandit", "rogue",
+      "trust",   "faith",   "hope",    "grace",   "peace",  "karma",  "destiny",
+      "forever", "always",  "never",   "little",  "mini",   "big",    "giant",
+  };
+  return list;
+}
+
+const std::vector<std::string>& first_names() {
+  static const std::vector<std::string> list = {
+      "james",   "john",    "robert",  "michael", "david",   "william",
+      "richard", "joseph",  "thomas",  "charles", "daniel",  "matthew",
+      "anthony", "mark",    "steven",  "andrew",  "joshua",  "kevin",
+      "brian",   "george",  "edward",  "ronald",  "timothy", "jason",
+      "jeffrey", "ryan",    "jacob",   "gary",    "nicholas", "eric",
+      "jonathan", "stephen", "justin", "scott",   "brandon", "frank",
+      "mary",    "patricia", "jennifer", "linda", "barbara", "susan",
+      "jessica", "sarah",   "karen",   "nancy",   "lisa",    "betty",
+      "sandra",  "ashley",  "kimberly", "emily",  "donna",   "michelle",
+      "carol",   "amanda",  "melissa", "deborah", "stephanie", "laura",
+      "rebecca", "sharon",  "cynthia", "kathleen", "amy",    "shirley",
+      "angela",  "helen",   "anna",    "brenda",  "pamela",  "nicole",
+      "samantha", "katherine", "emma", "ruth",    "christine", "catherine",
+      "maria",   "jose",    "carlos",  "juan",    "luis",    "miguel",
+      "jorge",   "pedro",   "alejandro", "diego", "sofia",   "valentina",
+      "camila",  "lucia",   "gabriela", "daniela", "mariana", "andrea",
+      "alex",    "sam",     "max",     "leo",     "ben",     "dan",
+      "tom",     "joe",     "tim",     "jim",     "rob",     "mike",
+      "jimmy",   "johnny",  "tommy",   "bobby",   "billy",   "danny",
+  };
+  return list;
+}
+
+const std::vector<std::string>& keyboard_walks() {
+  static const std::vector<std::string> list = {
+      "qwerty",  "qwertyui", "asdfgh",  "asdfghjk", "zxcvbn",  "zxcvbnm",
+      "qazwsx",  "1qaz2wsx", "qweasd",  "qweasdzxc", "123qwe", "1q2w3e4r",
+      "qwe123",  "asd123",   "zxc123",  "poiuyt",   "lkjhgf",  "mnbvcx",
+      "147258",  "159357",   "741852",  "963852",   "456789",  "147852",
+  };
+  return list;
+}
+
+const std::vector<std::string>& common_suffixes() {
+  static const std::vector<std::string> list = {
+      "1",   "123",  "12",   "2",    "7",    "13",  "11",  "22",
+      "123456", "01", "21",  "23",   "69",   "420", "321", "99",
+      "!",   "!!",   "1!",   "123!", ".",    "*",   "_1",  "00",
+  };
+  return list;
+}
+
+}  // namespace passflow::data

@@ -1,0 +1,33 @@
+// Embedded word material for the synthetic RockYou-like corpus.
+//
+// These lists are deliberately small (a few hundred entries each): the
+// synthetic generator combines them combinatorially with suffixes, leet
+// mutations and keyboard walks, which yields a support of millions of
+// distinct strings with the heavy-tailed rank/frequency profile of real
+// leaked corpora.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace passflow::data {
+
+// Most common leaked passwords, ordered by real-world frequency rank
+// ("123456", "password", ...).
+const std::vector<std::string>& common_passwords();
+
+// Frequent English dictionary words usable as password stems.
+const std::vector<std::string>& dictionary_words();
+
+// Common first names (lowercase).
+const std::vector<std::string>& first_names();
+
+// Keyboard walks ("qwerty", "asdfgh", "1qaz2wsx", ...).
+const std::vector<std::string>& keyboard_walks();
+
+// Suffixes humans append ("1", "123", "!", "2010", ...). Years are generated
+// programmatically in the corpus generator; this list holds the non-year
+// suffixes with weights implied by order.
+const std::vector<std::string>& common_suffixes();
+
+}  // namespace passflow::data

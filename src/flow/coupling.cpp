@@ -1,0 +1,188 @@
+#include "flow/coupling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops.hpp"
+
+namespace passflow::flow {
+
+namespace {
+nn::Matrix apply_mask(const nn::Matrix& x, const std::vector<float>& mask) {
+  nn::Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] *= mask[c];
+  }
+  return out;
+}
+}  // namespace
+
+AffineCoupling::AffineCoupling(std::size_t dim, std::size_t hidden,
+                               std::size_t depth, std::vector<float> mask,
+                               util::Rng& rng, const std::string& name)
+    : mask_(std::move(mask)),
+      net_(dim, hidden, depth, dim, rng, name + ".net"),
+      s_scale_(name + ".s_scale", nn::Matrix(1, dim, 1.0f)) {
+  if (mask_.size() != dim) {
+    throw std::invalid_argument("mask size does not match dim");
+  }
+}
+
+AffineCoupling::STResult AffineCoupling::compute_st(
+    const nn::Matrix& masked_input, bool training) const {
+  nn::ResNetST::Output out = training
+                                 ? net_.forward(masked_input)
+                                 : net_.forward_inference(masked_input);
+  STResult result;
+  result.s_raw = out.s_raw;
+  result.t = std::move(out.t);
+  result.s = result.s_raw;
+  const float* scale = s_scale_.value.data();
+  for (std::size_t r = 0; r < result.s.rows(); ++r) {
+    float* row = result.s.row(r);
+    for (std::size_t c = 0; c < result.s.cols(); ++c) {
+      row[c] = scale[c] * std::tanh(row[c]);
+    }
+  }
+  return result;
+}
+
+nn::Matrix AffineCoupling::forward(const nn::Matrix& x,
+                                   std::vector<double>& log_det) {
+  if (log_det.size() != x.rows()) {
+    throw std::invalid_argument("log_det size mismatch");
+  }
+  cached_x_ = x;
+  STResult st = compute_st(apply_mask(x, mask_), /*training=*/true);
+  cached_s_ = st.s;
+  cached_s_raw_ = st.s_raw;
+
+  nn::Matrix z(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    const float* sr = st.s.row(r);
+    const float* tr = st.t.row(r);
+    float* zr = z.row(r);
+    double ld = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const float b = mask_[c];
+      const float cb = 1.0f - b;
+      zr[c] = b * xr[c] + cb * (xr[c] * std::exp(sr[c]) + tr[c]);
+      ld += static_cast<double>(cb) * sr[c];
+    }
+    log_det[r] += ld;
+  }
+  return z;
+}
+
+nn::Matrix AffineCoupling::forward_inference(const nn::Matrix& x,
+                                             std::vector<double>* log_det) const {
+  STResult st = compute_st(apply_mask(x, mask_), /*training=*/false);
+  nn::Matrix z(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    const float* sr = st.s.row(r);
+    const float* tr = st.t.row(r);
+    float* zr = z.row(r);
+    double ld = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const float b = mask_[c];
+      const float cb = 1.0f - b;
+      zr[c] = b * xr[c] + cb * (xr[c] * std::exp(sr[c]) + tr[c]);
+      ld += static_cast<double>(cb) * sr[c];
+    }
+    if (log_det) (*log_det)[r] += ld;
+  }
+  return z;
+}
+
+nn::Matrix AffineCoupling::inverse(const nn::Matrix& z) const {
+  // The conditioning input b.z equals b.x because masked coordinates pass
+  // through unchanged, so s and t are recoverable from z alone.
+  STResult st = compute_st(apply_mask(z, mask_), /*training=*/false);
+  nn::Matrix x(z.rows(), z.cols());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const float* zr = z.row(r);
+    const float* sr = st.s.row(r);
+    const float* tr = st.t.row(r);
+    float* xr = x.row(r);
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      const float b = mask_[c];
+      if (b > 0.5f) {
+        xr[c] = zr[c];
+      } else {
+        xr[c] = (zr[c] - tr[c]) * std::exp(-sr[c]);
+      }
+    }
+  }
+  return x;
+}
+
+nn::Matrix AffineCoupling::backward(const nn::Matrix& grad_z,
+                                    const std::vector<double>& grad_log_det) {
+  if (!grad_z.same_shape(cached_x_)) {
+    throw std::invalid_argument("backward called without matching forward");
+  }
+  const std::size_t rows = grad_z.rows();
+  const std::size_t cols = grad_z.cols();
+
+  nn::Matrix grad_s(rows, cols);
+  nn::Matrix grad_t(rows, cols);
+  nn::Matrix grad_x(rows, cols);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* gz = grad_z.row(r);
+    const float* xr = cached_x_.row(r);
+    const float* sr = cached_s_.row(r);
+    const float gld = static_cast<float>(grad_log_det[r]);
+    float* gs = grad_s.row(r);
+    float* gt = grad_t.row(r);
+    float* gx = grad_x.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float b = mask_[c];
+      const float cb = 1.0f - b;
+      const float e = std::exp(sr[c]);
+      // Direct paths: identity part + x inside the affine part.
+      gx[c] = gz[c] * (b + cb * e);
+      // dz/ds = x*e on transformed coords; log-det contributes gld per coord.
+      gs[c] = cb * (gz[c] * xr[c] * e + gld);
+      gt[c] = cb * gz[c];
+    }
+  }
+
+  // Backprop s = s_scale * tanh(s_raw).
+  nn::Matrix grad_s_raw(rows, cols);
+  const float* scale = s_scale_.value.data();
+  float* gscale = s_scale_.grad.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* gs = grad_s.row(r);
+    const float* raw = cached_s_raw_.row(r);
+    float* gsr = grad_s_raw.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float th = std::tanh(raw[c]);
+      gscale[c] += gs[c] * th;
+      gsr[c] = gs[c] * scale[c] * (1.0f - th * th);
+    }
+  }
+
+  // Backprop through the s/t network into its masked input, then through
+  // the masking (h = b.x) into x.
+  nn::Matrix grad_h = net_.backward(grad_s_raw, grad_t);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* gh = grad_h.row(r);
+    float* gx = grad_x.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      gx[c] += mask_[c] * gh[c];
+    }
+  }
+  return grad_x;
+}
+
+std::vector<nn::Param*> AffineCoupling::parameters() {
+  std::vector<nn::Param*> params = net_.parameters();
+  params.push_back(&s_scale_);
+  return params;
+}
+
+}  // namespace passflow::flow

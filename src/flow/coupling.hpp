@@ -1,0 +1,69 @@
+// Affine coupling layer (Dinh et al. Real NVP, as adapted by PassFlow §III-A).
+//
+// With mask b (1 = identity part):
+//
+//   forward:  z = b.x + (1-b).(x . exp(s(b.x)) + t(b.x))        (Eq. 13)
+//   inverse:  x = b.z + (1-b).((z - t(b.z)) . exp(-s(b.z)))
+//   log|det J| = sum_j ((1-b) . s)_j                            (Eq. 12)
+//
+// s and t are the two heads of one ResNet (§IV-D: 2 residual blocks, hidden
+// 256). The raw s head passes through scale * tanh(.) with a learned
+// per-dimension scale — the standard Real NVP stabilization; since the heads
+// are zero-initialized, every coupling starts exactly at the identity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flow/mask.hpp"
+#include "nn/mlp.hpp"
+
+namespace passflow::flow {
+
+class AffineCoupling {
+ public:
+  AffineCoupling(std::size_t dim, std::size_t hidden, std::size_t depth,
+                 std::vector<float> mask, util::Rng& rng,
+                 const std::string& name = "coupling");
+
+  std::size_t dim() const { return mask_.size(); }
+  const std::vector<float>& mask() const { return mask_; }
+
+  // Training forward x -> z. Adds each sample's log-det contribution into
+  // `log_det` (size = batch rows). Caches activations for backward().
+  nn::Matrix forward(const nn::Matrix& x, std::vector<double>& log_det);
+
+  // Inference forward (no caching, no gradients).
+  nn::Matrix forward_inference(const nn::Matrix& x,
+                               std::vector<double>* log_det = nullptr) const;
+
+  // Exact inverse z -> x (inference only; flows never backprop the inverse).
+  nn::Matrix inverse(const nn::Matrix& z) const;
+
+  // Backward for loss terms L(z, log_det): takes dL/dz and dL/d(log_det) per
+  // sample, accumulates parameter gradients, returns dL/dx.
+  nn::Matrix backward(const nn::Matrix& grad_z,
+                      const std::vector<double>& grad_log_det);
+
+  std::vector<nn::Param*> parameters();
+
+ private:
+  struct STResult {
+    nn::Matrix s;      // bounded scale = s_scale * tanh(s_raw)
+    nn::Matrix s_raw;  // cached pre-tanh logits (backward needs them)
+    nn::Matrix t;
+  };
+  STResult compute_st(const nn::Matrix& masked_input, bool training) const;
+
+  std::vector<float> mask_;  // b
+  mutable nn::ResNetST net_; // mutable: forward_inference caches nothing but
+                             // must call non-const net entry points
+  nn::Param s_scale_;        // learned per-dim bound on the scale (1 x dim)
+
+  // Training-forward caches.
+  nn::Matrix cached_x_;
+  nn::Matrix cached_s_;
+  nn::Matrix cached_s_raw_;
+};
+
+}  // namespace passflow::flow

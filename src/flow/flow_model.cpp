@@ -1,0 +1,129 @@
+#include "flow/flow_model.hpp"
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "nn/serialize.hpp"
+
+namespace passflow::flow {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+}
+
+double standard_normal_log_density(const float* z, std::size_t dim) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    sq += static_cast<double>(z[i]) * z[i];
+  }
+  return -0.5 * (sq + static_cast<double>(dim) * kLog2Pi);
+}
+
+FlowModel::FlowModel(FlowConfig config, util::Rng& rng) : config_(config) {
+  couplings_.reserve(config_.num_couplings);
+  for (std::size_t i = 0; i < config_.num_couplings; ++i) {
+    couplings_.push_back(std::make_unique<AffineCoupling>(
+        config_.dim, config_.hidden, config_.residual_blocks,
+        mask_for_layer(config_.mask, config_.dim, i), rng,
+        "coupling" + std::to_string(i)));
+  }
+}
+
+nn::Matrix FlowModel::forward(const nn::Matrix& x,
+                              std::vector<double>& log_det) {
+  log_det.assign(x.rows(), 0.0);
+  nn::Matrix h = x;
+  for (auto& coupling : couplings_) h = coupling->forward(h, log_det);
+  return h;
+}
+
+nn::Matrix FlowModel::forward_inference(const nn::Matrix& x,
+                                        std::vector<double>* log_det) const {
+  if (log_det) log_det->assign(x.rows(), 0.0);
+  nn::Matrix h = x;
+  for (const auto& coupling : couplings_) {
+    h = coupling->forward_inference(h, log_det);
+  }
+  return h;
+}
+
+nn::Matrix FlowModel::inverse(const nn::Matrix& z) const {
+  nn::Matrix h = z;
+  for (auto it = couplings_.rbegin(); it != couplings_.rend(); ++it) {
+    h = (*it)->inverse(h);
+  }
+  return h;
+}
+
+std::vector<double> FlowModel::log_prob(const nn::Matrix& x) const {
+  std::vector<double> log_det;
+  const nn::Matrix z = forward_inference(x, &log_det);
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = standard_normal_log_density(z.row(r), z.cols()) + log_det[r];
+  }
+  return out;
+}
+
+double FlowModel::nll_backward(const nn::Matrix& x) {
+  const std::size_t n = x.rows();
+  std::vector<double> log_det;
+  const nn::Matrix z = forward(x, log_det);
+
+  // L = (1/n) sum_i [ 0.5*||z_i||^2 + D/2 log(2pi) - log_det_i ]
+  double loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    loss += -standard_normal_log_density(z.row(r), z.cols()) - log_det[r];
+  }
+  loss /= static_cast<double>(n);
+
+  // dL/dz = z / n ; dL/d(log_det_i) = -1/n.
+  nn::Matrix grad_z = z;
+  nn::scale_inplace(grad_z, 1.0f / static_cast<float>(n));
+  std::vector<double> grad_log_det(n, -1.0 / static_cast<double>(n));
+
+  nn::Matrix grad = grad_z;
+  std::vector<double> grad_ld = grad_log_det;
+  for (auto it = couplings_.rbegin(); it != couplings_.rend(); ++it) {
+    grad = (*it)->backward(grad, grad_ld);
+    // grad_log_det flows unchanged through earlier layers: each layer's
+    // log-det enters the loss additively, so every coupling sees -1/n.
+  }
+  return loss;
+}
+
+double FlowModel::nll(const nn::Matrix& x) const {
+  const auto lp = log_prob(x);
+  double loss = 0.0;
+  for (double v : lp) loss -= v;
+  return loss / static_cast<double>(lp.size());
+}
+
+std::vector<nn::Param*> FlowModel::parameters() {
+  std::vector<nn::Param*> params;
+  for (auto& coupling : couplings_) {
+    const auto p = coupling->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+std::size_t FlowModel::parameter_count() {
+  std::size_t n = 0;
+  for (nn::Param* p : parameters()) n += p->value.size();
+  return n;
+}
+
+void FlowModel::zero_grad() {
+  for (nn::Param* p : parameters()) p->grad.zero();
+}
+
+void FlowModel::save(const std::string& path) {
+  nn::save_params_file(path, parameters());
+}
+
+void FlowModel::load(const std::string& path) {
+  nn::load_params_file(path, parameters());
+}
+
+}  // namespace passflow::flow

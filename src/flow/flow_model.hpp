@@ -1,0 +1,62 @@
+// The PassFlow model: a composition of affine coupling layers with exact
+// log-likelihood (Eq. 1-8) under a factorized standard-normal prior.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/coupling.hpp"
+#include "nn/adam.hpp"
+
+namespace passflow::flow {
+
+struct FlowConfig {
+  std::size_t dim = 10;            // password max length (§IV-D)
+  std::size_t num_couplings = 18;  // paper architecture (§IV-D)
+  std::size_t hidden = 256;        // s/t hidden width (§IV-D)
+  std::size_t residual_blocks = 2; // s/t depth (§IV-D)
+  MaskConfig mask;                 // char-run m=1 by default (§IV-D)
+};
+
+class FlowModel {
+ public:
+  FlowModel(FlowConfig config, util::Rng& rng);
+
+  const FlowConfig& config() const { return config_; }
+  std::size_t dim() const { return config_.dim; }
+
+  // Training forward x -> z; fills per-sample log|det J| (overwritten).
+  nn::Matrix forward(const nn::Matrix& x, std::vector<double>& log_det);
+  // Inference forward without caching.
+  nn::Matrix forward_inference(const nn::Matrix& x,
+                               std::vector<double>* log_det = nullptr) const;
+  // Exact inverse z -> x.
+  nn::Matrix inverse(const nn::Matrix& z) const;
+
+  // Exact log p(x) per sample (Eq. 5 with standard-normal prior).
+  std::vector<double> log_prob(const nn::Matrix& x) const;
+
+  // Computes mean NLL of the batch (Eq. 7-8), accumulates parameter
+  // gradients, and returns the loss. Callers zero_grad + optimizer-step.
+  double nll_backward(const nn::Matrix& x);
+
+  // Same loss without gradients (validation).
+  double nll(const nn::Matrix& x) const;
+
+  std::vector<nn::Param*> parameters();
+  std::size_t parameter_count();
+  void zero_grad();
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  FlowConfig config_;
+  std::vector<std::unique_ptr<AffineCoupling>> couplings_;
+};
+
+// log N(z; 0, I) for one row.
+double standard_normal_log_density(const float* z, std::size_t dim);
+
+}  // namespace passflow::flow

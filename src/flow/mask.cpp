@@ -1,0 +1,66 @@
+#include "flow/mask.hpp"
+
+#include <stdexcept>
+
+namespace passflow::flow {
+
+std::vector<float> make_mask(const MaskConfig& config, std::size_t dim) {
+  if (dim == 0) throw std::invalid_argument("mask dim must be > 0");
+  std::vector<float> mask(dim, 0.0f);
+  switch (config.scheme) {
+    case MaskScheme::kCharRun: {
+      if (config.run_length == 0) {
+        throw std::invalid_argument("char-run mask requires run_length > 0");
+      }
+      for (std::size_t i = 0; i < dim; ++i) {
+        mask[i] = ((i / config.run_length) % 2 == 0) ? 1.0f : 0.0f;
+      }
+      break;
+    }
+    case MaskScheme::kHorizontal: {
+      for (std::size_t i = 0; i < dim / 2; ++i) mask[i] = 1.0f;
+      break;
+    }
+  }
+  return mask;
+}
+
+std::vector<float> negate_mask(const std::vector<float>& mask) {
+  std::vector<float> out(mask.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) out[i] = 1.0f - mask[i];
+  return out;
+}
+
+std::vector<float> mask_for_layer(const MaskConfig& config, std::size_t dim,
+                                  std::size_t layer_index) {
+  const auto base = make_mask(config, dim);
+  return layer_index % 2 == 0 ? base : negate_mask(base);
+}
+
+std::string mask_to_string(const std::vector<float>& mask) {
+  std::string out;
+  for (float v : mask) out += v > 0.5f ? '1' : '0';
+  return out;
+}
+
+std::string scheme_name(const MaskConfig& config) {
+  switch (config.scheme) {
+    case MaskScheme::kCharRun:
+      return "char-run-" + std::to_string(config.run_length);
+    case MaskScheme::kHorizontal:
+      return "horizontal";
+  }
+  return "?";
+}
+
+MaskConfig parse_mask_config(const std::string& name) {
+  if (name == "horizontal") return {MaskScheme::kHorizontal, 0};
+  const std::string prefix = "char-run-";
+  if (name.rfind(prefix, 0) == 0) {
+    const std::size_t m = std::stoul(name.substr(prefix.size()));
+    return {MaskScheme::kCharRun, m};
+  }
+  throw std::invalid_argument("unknown mask scheme: " + name);
+}
+
+}  // namespace passflow::flow

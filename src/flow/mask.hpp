@@ -1,0 +1,41 @@
+// Binary coupling masks (§III-A.1, §V-C).
+//
+// A mask b in {0,1}^D partitions the input: positions with b=1 pass through
+// the coupling unchanged and condition the transformation of the b=0
+// positions. The paper evaluates three schemes (Table VI):
+//   * char-run m: alternating runs of m ones and m zeros (m=1 is best);
+//   * horizontal: D/2 ones followed by D/2 zeros.
+// Consecutive coupling layers alternate b and 1-b (Figure 1) so that every
+// position is transformed at least every other layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace passflow::flow {
+
+enum class MaskScheme { kCharRun, kHorizontal };
+
+struct MaskConfig {
+  MaskScheme scheme = MaskScheme::kCharRun;
+  std::size_t run_length = 1;  // m, used by kCharRun only
+};
+
+// Returns the base mask b for the given dimensionality.
+std::vector<float> make_mask(const MaskConfig& config, std::size_t dim);
+
+// Complement 1-b.
+std::vector<float> negate_mask(const std::vector<float>& mask);
+
+// Mask for coupling layer `layer_index`: the base mask for even layers, its
+// complement for odd layers.
+std::vector<float> mask_for_layer(const MaskConfig& config, std::size_t dim,
+                                  std::size_t layer_index);
+
+std::string mask_to_string(const std::vector<float>& mask);
+std::string scheme_name(const MaskConfig& config);
+
+// Parses "char-run-1", "char-run-2", "horizontal" (used by bench flags).
+MaskConfig parse_mask_config(const std::string& name);
+
+}  // namespace passflow::flow

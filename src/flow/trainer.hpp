@@ -1,0 +1,57 @@
+// NLL trainer for the flow (§IV-D: Adam, lr 1e-3, batch 512, pick the best
+// epoch by validation NLL).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "flow/flow_model.hpp"
+#include "nn/adam.hpp"
+
+namespace passflow::flow {
+
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 512;
+  double learning_rate = 1e-3;
+  double lr_decay = 1.0;        // multiplicative per-epoch decay (1 = none)
+  double clip_norm = 5.0;       // manual-backprop flows benefit from clipping
+  double weight_decay = 0.0;
+  std::size_t log_every = 50;   // batches; 0 silences progress logs
+  std::uint64_t seed = 7;
+  // Fraction of the training set held out to pick the best epoch; 0 keeps
+  // the final weights instead.
+  double validation_fraction = 0.05;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_nll = 0.0;
+  double validation_nll = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_validation_nll = 0.0;
+  std::size_t best_epoch = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(FlowModel& model, TrainConfig config);
+
+  // Trains on `passwords`, restoring the best-validation epoch's weights at
+  // the end (mirrors "we pick the best performing epoch", §IV-D). The
+  // optional callback fires after every epoch.
+  TrainResult train(
+      const std::vector<std::string>& passwords, const data::Encoder& encoder,
+      const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+ private:
+  FlowModel& model_;
+  TrainConfig config_;
+};
+
+}  // namespace passflow::flow

@@ -1,0 +1,165 @@
+#include "guessing/dynamic_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace passflow::guessing {
+
+DynamicSamplerConfig table1_parameters(std::size_t guess_budget) {
+  DynamicSamplerConfig config;
+  if (guess_budget <= 100000) {
+    config.alpha = 1;
+    config.sigma = 0.12;
+    config.gamma = 2;
+  } else if (guess_budget <= 1000000) {
+    config.alpha = 5;
+    config.sigma = 0.12;
+    config.gamma = 2;
+  } else if (guess_budget <= 10000000) {
+    config.alpha = 50;
+    config.sigma = 0.12;
+    config.gamma = 10;
+  } else {
+    config.alpha = 50;
+    config.sigma = 0.15;
+    config.gamma = 10;
+  }
+  return config;
+}
+
+const char* phi_kind_name(PhiKind kind) {
+  switch (kind) {
+    case PhiKind::kStep:
+      return "step";
+    case PhiKind::kLinear:
+      return "linear";
+    case PhiKind::kExponential:
+      return "exponential";
+    case PhiKind::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+PhiKind parse_phi_kind(const std::string& name) {
+  if (name == "step") return PhiKind::kStep;
+  if (name == "linear") return PhiKind::kLinear;
+  if (name == "exponential") return PhiKind::kExponential;
+  if (name == "uniform") return PhiKind::kUniform;
+  throw std::invalid_argument("unknown phi kind: " + name);
+}
+
+DynamicSampler::DynamicSampler(const flow::FlowModel& model,
+                               const data::Encoder& encoder,
+                               DynamicSamplerConfig config)
+    : model_(&model), encoder_(&encoder), config_(config), rng_(config.seed) {}
+
+double DynamicSampler::phi(const Component& c) const {
+  if (!config_.use_phi) return 1.0;  // uniform weighting (Fig. 5 baseline)
+  const double age = static_cast<double>(c.age);
+  const double gamma = static_cast<double>(config_.gamma);
+  switch (config_.phi_kind) {
+    case PhiKind::kStep:
+      return c.age < config_.gamma ? 1.0 : 0.0;
+    case PhiKind::kLinear:
+      return std::max(0.0, 1.0 - age / gamma);
+    case PhiKind::kExponential: {
+      const double weight = std::exp(-age / gamma);
+      return weight < 0.01 ? 0.0 : weight;  // cutoff: stale components die
+    }
+    case PhiKind::kUniform:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+std::size_t DynamicSampler::active_component_count() const {
+  std::size_t active = 0;
+  for (const auto& c : components_) {
+    if (phi(c) > 0.0) ++active;
+  }
+  return active;
+}
+
+bool DynamicSampler::dynamic_active() const {
+  return components_.size() > config_.alpha && active_component_count() > 0;
+}
+
+void DynamicSampler::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  last_batch_latents_ = nn::Matrix(n, model_->dim());
+
+  std::size_t produced = 0;
+  while (produced < n) {
+    const std::size_t count = std::min(config_.batch_size, n - produced);
+
+    // Snapshot the active components and their phi weights once per
+    // sub-batch; Eq. 14's mixture samples component i proportionally to
+    // phi(Mh[i]).
+    std::vector<const Component*> active;
+    std::vector<double> weights;
+    if (components_.size() > config_.alpha) {
+      for (const auto& c : components_) {
+        const double weight = phi(c);
+        if (weight > 0.0) {
+          active.push_back(&c);
+          weights.push_back(weight);
+        }
+      }
+    }
+
+    nn::Matrix z(count, model_->dim());
+    if (active.empty()) {
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        z.data()[i] = static_cast<float>(rng_.normal(0.0, config_.prior_sigma));
+      }
+    } else {
+      for (std::size_t r = 0; r < count; ++r) {
+        const Component& c =
+            *active[util::sample_discrete(rng_, weights)];
+        float* zr = z.row(r);
+        for (std::size_t d = 0; d < z.cols(); ++d) {
+          zr[d] = static_cast<float>(c.latent[d] +
+                                     rng_.normal(0.0, config_.sigma));
+        }
+      }
+      // One iteration of conditioning elapsed for every active component.
+      for (auto& c : components_) {
+        if (phi(c) > 0.0) ++c.age;
+      }
+    }
+
+    last_batch_latents_.set_rows(produced, z);
+
+    nn::Matrix x = model_->inverse(z);
+    if (config_.smoothing.enabled) {
+      apply_gaussian_smoothing(x, config_.smoothing.sigma_bins,
+                               encoder_->bin_width(), rng_);
+    }
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out.push_back(encoder_->decode(x.row(r), x.cols()));
+    }
+    produced += count;
+  }
+}
+
+void DynamicSampler::on_match(std::size_t index_in_batch,
+                              const std::string& password) {
+  (void)password;
+  if (index_in_batch >= last_batch_latents_.rows()) return;
+  Component c;
+  c.latent.assign(last_batch_latents_.row(index_in_batch),
+                  last_batch_latents_.row(index_in_batch) +
+                      last_batch_latents_.cols());
+  components_.push_back(std::move(c));
+}
+
+std::string DynamicSampler::name() const {
+  std::string base = config_.use_phi ? "PassFlow-Dynamic"
+                                     : "PassFlow-Dynamic-nophi";
+  if (config_.smoothing.enabled) base += "+GS";
+  return base;
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,15 @@
+#include "guessing/gaussian_smoothing.hpp"
+
+namespace passflow::guessing {
+
+void apply_gaussian_smoothing(nn::Matrix& x, double sigma_bins,
+                              float bin_width, util::Rng& rng) {
+  const double sigma = sigma_bins * static_cast<double>(bin_width);
+  if (sigma <= 0.0) return;
+  float* data = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    data[i] += static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,29 @@
+// Data-space Gaussian Smoothing (§III-C).
+//
+// After inverting a latent point to a data-space vector, small Gaussian
+// perturbations are added *in data space* before decoding. With a sigma that
+// is a fraction of one code bin, most coordinates keep their character while
+// coordinates near a bin boundary flip — which breaks collisions between
+// nearby latent samples while staying in the neighborhood of the original
+// point. Sigma is therefore expressed in units of bin width (1/|alphabet|).
+#pragma once
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::guessing {
+
+struct GaussianSmoothingConfig {
+  bool enabled = false;
+  // Stddev in units of one encoder bin width. 0.15 is the calibrated sweet
+  // spot (bench ablation_sigma_gs): large enough to flip boundary
+  // characters and break collisions, small enough to stay in the matched
+  // password's neighborhood.
+  double sigma_bins = 0.15;
+};
+
+// Perturbs every entry of `x` in place: x += N(0, sigma_bins * bin_width).
+void apply_gaussian_smoothing(nn::Matrix& x, double sigma_bins,
+                              float bin_width, util::Rng& rng);
+
+}  // namespace passflow::guessing

@@ -1,0 +1,33 @@
+// Common interface for anything that emits password guesses.
+//
+// PassFlow's three strategies, the CWAE, the GANs and the Markov baseline all
+// implement this, so one harness (harness.hpp) can evaluate every row of
+// Tables II and III. Generators that exploit match feedback (PassFlow's
+// Dynamic Sampling, Algorithm 1) receive it through on_match().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace passflow::guessing {
+
+class GuessGenerator {
+ public:
+  virtual ~GuessGenerator() = default;
+
+  // Appends exactly `n` guesses to `out`.
+  virtual void generate(std::size_t n, std::vector<std::string>& out) = 0;
+
+  // Called by the harness for each *new* matched guess, with the index of
+  // that guess within the most recent generate() batch. Default: ignore.
+  virtual void on_match(std::size_t index_in_batch,
+                        const std::string& password) {
+    (void)index_in_batch;
+    (void)password;
+  }
+
+  // Human-readable name used in tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace passflow::guessing

@@ -1,0 +1,93 @@
+#include "guessing/harness.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace passflow::guessing {
+
+RunResult run_guessing(GuessGenerator& generator, const Matcher& matcher,
+                       HarnessConfig config) {
+  if (config.checkpoints.empty()) {
+    config.checkpoints = power_of_ten_checkpoints(config.budget);
+  }
+  std::sort(config.checkpoints.begin(), config.checkpoints.end());
+
+  util::Timer timer;
+  RunResult result;
+  std::unordered_set<std::string> unique_guesses;
+  std::unordered_set<std::string> matched_set;
+  std::unordered_set<std::string> non_matched_seen;
+
+  std::size_t produced = 0;
+  std::size_t checkpoint_index = 0;
+  std::vector<std::string> batch;
+
+  while (produced < config.budget) {
+    const std::size_t next_stop = checkpoint_index < config.checkpoints.size()
+                                      ? config.checkpoints[checkpoint_index]
+                                      : config.budget;
+    const std::size_t chunk =
+        std::min(config.chunk_size, next_stop - produced);
+
+    batch.clear();
+    generator.generate(chunk, batch);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::string& guess = batch[i];
+      if (config.track_unique) unique_guesses.insert(guess);
+      if (matcher.contains(guess)) {
+        if (matched_set.insert(guess).second) {
+          result.matched_passwords.push_back(guess);
+          generator.on_match(i, guess);
+        }
+      } else if (result.sample_non_matched.size() <
+                     config.non_matched_samples &&
+                 !guess.empty() && non_matched_seen.insert(guess).second) {
+        result.sample_non_matched.push_back(guess);
+      }
+    }
+    produced += batch.size();
+
+    while (checkpoint_index < config.checkpoints.size() &&
+           produced >= config.checkpoints[checkpoint_index]) {
+      Checkpoint cp;
+      cp.guesses = config.checkpoints[checkpoint_index];
+      cp.unique = unique_guesses.size();
+      cp.matched = matched_set.size();
+      cp.matched_percent =
+          matcher.test_set_size() > 0
+              ? 100.0 * static_cast<double>(cp.matched) /
+                    static_cast<double>(matcher.test_set_size())
+              : 0.0;
+      result.checkpoints.push_back(cp);
+      ++checkpoint_index;
+      if (config.log_progress) {
+        PF_LOG_INFO << generator.name() << ": " << cp.guesses << " guesses, "
+                    << cp.matched << " matched (" << cp.matched_percent
+                    << "%), " << cp.unique << " unique";
+      }
+    }
+  }
+
+  if (result.checkpoints.empty() ||
+      result.checkpoints.back().guesses != produced) {
+    Checkpoint cp;
+    cp.guesses = produced;
+    cp.unique = unique_guesses.size();
+    cp.matched = matched_set.size();
+    cp.matched_percent =
+        matcher.test_set_size() > 0
+            ? 100.0 * static_cast<double>(cp.matched) /
+                  static_cast<double>(matcher.test_set_size())
+            : 0.0;
+    result.checkpoints.push_back(cp);
+  }
+
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,28 @@
+// Guessing-run harness: drives any GuessGenerator against a Matcher and
+// records the metrics the paper's tables report (matched %, unique count,
+// non-matched samples) at power-of-ten checkpoints.
+#pragma once
+
+#include "guessing/generator.hpp"
+#include "guessing/matcher.hpp"
+#include "guessing/metrics.hpp"
+
+namespace passflow::guessing {
+
+struct HarnessConfig {
+  std::size_t budget = 100000;        // total guesses to generate
+  std::vector<std::size_t> checkpoints;  // empty => powers of ten
+  std::size_t chunk_size = 16384;     // guesses per generate() call
+  std::size_t non_matched_samples = 40;  // reservoir for Table IV
+  bool track_unique = true;           // disable to save memory on huge runs
+  bool log_progress = false;
+};
+
+// Runs the full loop: generate -> match -> feed matches back -> checkpoint.
+// A "match" is counted once per distinct test-set password (re-guessing an
+// already matched password does not count again), mirroring |P| in
+// Algorithm 1.
+RunResult run_guessing(GuessGenerator& generator, const Matcher& matcher,
+                       HarnessConfig config);
+
+}  // namespace passflow::guessing

@@ -1,0 +1,39 @@
+#include "guessing/interpolation.hpp"
+
+#include <stdexcept>
+
+namespace passflow::guessing {
+
+std::vector<float> latent_of(const flow::FlowModel& model,
+                             const data::Encoder& encoder,
+                             const std::string& password) {
+  nn::Matrix x(1, encoder.dim());
+  const auto features = encoder.encode(password);
+  std::copy(features.begin(), features.end(), x.row(0));
+  const nn::Matrix z = model.forward_inference(x);
+  return std::vector<float>(z.row(0), z.row(0) + z.cols());
+}
+
+std::vector<std::string> interpolate(const flow::FlowModel& model,
+                                     const data::Encoder& encoder,
+                                     const std::string& start,
+                                     const std::string& target,
+                                     std::size_t steps) {
+  if (steps == 0) throw std::invalid_argument("steps must be > 0");
+  const auto z1 = latent_of(model, encoder, start);
+  const auto z2 = latent_of(model, encoder, target);
+
+  // delta = (z2 - z1) / steps; intermediate j is z1 + delta * j.
+  nn::Matrix points(steps + 1, encoder.dim());
+  for (std::size_t j = 0; j <= steps; ++j) {
+    float* row = points.row(j);
+    const float frac = static_cast<float>(j) / static_cast<float>(steps);
+    for (std::size_t d = 0; d < encoder.dim(); ++d) {
+      row[d] = z1[d] + (z2[d] - z1[d]) * frac;
+    }
+  }
+  const nn::Matrix x = model.inverse(points);
+  return encoder.decode_batch(x);
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,27 @@
+// Latent-space interpolation between two passwords (Algorithm 2, Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/encoder.hpp"
+#include "flow/flow_model.hpp"
+
+namespace passflow::guessing {
+
+// Walks the straight line from f(start) to f(target) in latent space in
+// `steps` increments, mapping each intermediate point back to a password.
+// Returns steps+1 passwords; the first decodes f^-1(f(start)) and the last
+// f^-1(f(target)) (round-trips of the endpoints).
+std::vector<std::string> interpolate(const flow::FlowModel& model,
+                                     const data::Encoder& encoder,
+                                     const std::string& start,
+                                     const std::string& target,
+                                     std::size_t steps);
+
+// Latent-space representation of one password (deterministic encoding).
+std::vector<float> latent_of(const flow::FlowModel& model,
+                             const data::Encoder& encoder,
+                             const std::string& password);
+
+}  // namespace passflow::guessing

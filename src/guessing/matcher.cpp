@@ -1,0 +1,8 @@
+#include "guessing/matcher.hpp"
+
+namespace passflow::guessing {
+
+Matcher::Matcher(const std::vector<std::string>& test_set)
+    : test_set_(test_set.begin(), test_set.end()) {}
+
+}  // namespace passflow::guessing

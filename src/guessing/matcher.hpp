@@ -1,0 +1,27 @@
+// Membership oracle over the (deduplicated) test set.
+//
+// Mirrors the paper's evaluation: a guess "matches" iff it equals a password
+// in the cleaned RockYou test partition (§IV-D, §V-A).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace passflow::guessing {
+
+class Matcher {
+ public:
+  explicit Matcher(const std::vector<std::string>& test_set);
+
+  bool contains(const std::string& password) const {
+    return test_set_.count(password) > 0;
+  }
+
+  std::size_t test_set_size() const { return test_set_.size(); }
+
+ private:
+  std::unordered_set<std::string> test_set_;
+};
+
+}  // namespace passflow::guessing

@@ -1,0 +1,23 @@
+#include "guessing/metrics.hpp"
+
+#include <stdexcept>
+
+namespace passflow::guessing {
+
+const Checkpoint& RunResult::at(std::size_t guesses) const {
+  for (const auto& cp : checkpoints) {
+    if (cp.guesses == guesses) return cp;
+  }
+  throw std::out_of_range("no checkpoint at " + std::to_string(guesses));
+}
+
+std::vector<std::size_t> power_of_ten_checkpoints(std::size_t budget) {
+  std::vector<std::size_t> points;
+  for (std::size_t p = 10; p < budget && p >= 10; p *= 10) {
+    points.push_back(p);
+  }
+  if (points.empty() || points.back() != budget) points.push_back(budget);
+  return points;
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,33 @@
+// Metrics tracked during a guessing run: totals, uniques, matches, and
+// checkpoint snapshots at the guess budgets the paper tables report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace passflow::guessing {
+
+struct Checkpoint {
+  std::size_t guesses = 0;   // total guesses generated so far
+  std::size_t unique = 0;    // distinct guesses so far (Table III "Unique")
+  std::size_t matched = 0;   // matched test passwords (Table III "Matched")
+  double matched_percent = 0.0;  // vs test set size (Table II)
+};
+
+struct RunResult {
+  std::vector<Checkpoint> checkpoints;
+  std::vector<std::string> matched_passwords;      // in match order
+  std::vector<std::string> sample_non_matched;     // for Table IV
+  double seconds = 0.0;
+
+  const Checkpoint& final() const { return checkpoints.back(); }
+  // Checkpoint with the given guess budget; throws if absent.
+  const Checkpoint& at(std::size_t guesses) const;
+};
+
+// Default checkpoint schedule: powers of 10 up to `budget` plus the budget
+// itself (the paper reports 10^4..10^8).
+std::vector<std::size_t> power_of_ten_checkpoints(std::size_t budget);
+
+}  // namespace passflow::guessing

@@ -1,0 +1,43 @@
+#include "guessing/pivot_sampler.hpp"
+
+#include <unordered_set>
+
+#include "guessing/interpolation.hpp"
+
+namespace passflow::guessing {
+
+PivotSampler::PivotSampler(const flow::FlowModel& model,
+                           const data::Encoder& encoder,
+                           const std::string& pivot)
+    : model_(&model),
+      encoder_(&encoder),
+      pivot_latent_(latent_of(model, encoder, pivot)) {}
+
+std::vector<std::string> PivotSampler::sample_unique(
+    std::size_t count, double sigma, util::Rng& rng,
+    std::size_t max_attempts) const {
+  std::vector<std::string> unique;
+  std::unordered_set<std::string> seen;
+  const std::size_t batch = 256;
+  std::size_t attempts = 0;
+  while (unique.size() < count && attempts < max_attempts) {
+    nn::Matrix z(batch, encoder_->dim());
+    for (std::size_t r = 0; r < batch; ++r) {
+      float* row = z.row(r);
+      for (std::size_t d = 0; d < z.cols(); ++d) {
+        row[d] = static_cast<float>(pivot_latent_[d] + rng.normal(0.0, sigma));
+      }
+    }
+    const nn::Matrix x = model_->inverse(z);
+    for (std::size_t r = 0; r < x.rows() && unique.size() < count; ++r) {
+      std::string password = encoder_->decode(x.row(r), x.cols());
+      if (password.empty() || seen.count(password)) continue;
+      seen.insert(password);
+      unique.push_back(std::move(password));
+    }
+    attempts += batch;
+  }
+  return unique;
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,37 @@
+#include "guessing/static_sampler.hpp"
+
+#include <algorithm>
+
+namespace passflow::guessing {
+
+StaticSampler::StaticSampler(const flow::FlowModel& model,
+                             const data::Encoder& encoder,
+                             StaticSamplerConfig config)
+    : model_(&model), encoder_(&encoder), config_(config), rng_(config.seed) {}
+
+void StaticSampler::generate(std::size_t n, std::vector<std::string>& out) {
+  out.reserve(out.size() + n);
+  std::size_t produced = 0;
+  while (produced < n) {
+    const std::size_t count = std::min(config_.batch_size, n - produced);
+    nn::Matrix z(count, model_->dim());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z.data()[i] = static_cast<float>(rng_.normal(0.0, config_.sigma));
+    }
+    nn::Matrix x = model_->inverse(z);
+    if (config_.smoothing.enabled) {
+      apply_gaussian_smoothing(x, config_.smoothing.sigma_bins,
+                               encoder_->bin_width(), rng_);
+    }
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out.push_back(encoder_->decode(x.row(r), x.cols()));
+    }
+    produced += count;
+  }
+}
+
+std::string StaticSampler::name() const {
+  return config_.smoothing.enabled ? "PassFlow-Static+GS" : "PassFlow-Static";
+}
+
+}  // namespace passflow::guessing

@@ -1,0 +1,34 @@
+// PassFlow-Static (§V-A): draw z ~ N(0, sigma^2 I), invert through the flow,
+// decode. Optionally applies data-space Gaussian Smoothing.
+#pragma once
+
+#include "data/encoder.hpp"
+#include "flow/flow_model.hpp"
+#include "guessing/gaussian_smoothing.hpp"
+#include "guessing/generator.hpp"
+
+namespace passflow::guessing {
+
+struct StaticSamplerConfig {
+  double sigma = 1.0;          // prior stddev
+  std::size_t batch_size = 2048;
+  GaussianSmoothingConfig smoothing;
+  std::uint64_t seed = 11;
+};
+
+class StaticSampler : public GuessGenerator {
+ public:
+  StaticSampler(const flow::FlowModel& model, const data::Encoder& encoder,
+                StaticSamplerConfig config = {});
+
+  void generate(std::size_t n, std::vector<std::string>& out) override;
+  std::string name() const override;
+
+ private:
+  const flow::FlowModel* model_;
+  const data::Encoder* encoder_;
+  StaticSamplerConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace passflow::guessing

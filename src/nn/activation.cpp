@@ -1,0 +1,64 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+
+namespace passflow::nn {
+
+float activate(ActKind kind, float x, float leak) {
+  switch (kind) {
+    case ActKind::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case ActKind::kLeakyRelu:
+      return x > 0.0f ? x : leak * x;
+    case ActKind::kTanh:
+      return std::tanh(x);
+    case ActKind::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+  }
+  return x;
+}
+
+float activate_grad(ActKind kind, float x, float leak) {
+  switch (kind) {
+    case ActKind::kRelu:
+      return x > 0.0f ? 1.0f : 0.0f;
+    case ActKind::kLeakyRelu:
+      return x > 0.0f ? 1.0f : leak;
+    case ActKind::kTanh: {
+      const float t = std::tanh(x);
+      return 1.0f - t * t;
+    }
+    case ActKind::kSigmoid: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f - s);
+    }
+  }
+  return 1.0f;
+}
+
+Matrix Activation::apply(const Matrix& input) const {
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = activate(kind_, out.data()[i], leak_);
+  }
+  return out;
+}
+
+Matrix Activation::forward(const Matrix& input) {
+  cached_input_ = input;
+  return apply(input);
+}
+
+Matrix Activation::forward_inference(const Matrix& input) {
+  return apply(input);
+}
+
+Matrix Activation::backward(const Matrix& grad_output) {
+  Matrix dx = grad_output;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx.data()[i] *= activate_grad(kind_, cached_input_.data()[i], leak_);
+  }
+  return dx;
+}
+
+}  // namespace passflow::nn

@@ -1,0 +1,34 @@
+// Elementwise activations with cached-input backward passes.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace passflow::nn {
+
+enum class ActKind { kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+class Activation : public Module {
+ public:
+  explicit Activation(ActKind kind, float leak = 0.01f)
+      : kind_(kind), leak_(leak) {}
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  Matrix forward_inference(const Matrix& input) override;
+  std::vector<Param*> parameters() override { return {}; }
+
+  ActKind kind() const { return kind_; }
+
+ private:
+  Matrix apply(const Matrix& input) const;
+
+  ActKind kind_;
+  float leak_;
+  Matrix cached_input_;
+};
+
+// Free-function forms used by code that does not need a Module.
+float activate(ActKind kind, float x, float leak = 0.01f);
+float activate_grad(ActKind kind, float x, float leak = 0.01f);
+
+}  // namespace passflow::nn

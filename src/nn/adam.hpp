@@ -1,0 +1,41 @@
+// Adam optimizer (Kingma & Ba 2015) with optional weight decay and global
+// gradient-norm clipping — the optimizer PassFlow trains with (§IV-D:
+// lr=0.001, batch 512).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace passflow::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;   // decoupled (AdamW-style)
+  double clip_norm = 0.0;      // 0 disables clipping
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config = {});
+
+  // Applies one update from the gradients currently accumulated in the
+  // params, then the caller should zero_grad().
+  void step();
+
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  double learning_rate() const { return config_.learning_rate; }
+  long long step_count() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  AdamConfig config_;
+  long long t_ = 0;
+};
+
+}  // namespace passflow::nn

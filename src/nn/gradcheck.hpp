@@ -1,0 +1,32 @@
+// Central-difference gradient checking used by the test suite to validate
+// every manually derived backward pass (layers, couplings, full-flow NLL).
+#pragma once
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace passflow::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::size_t checked = 0;
+};
+
+// `loss` must evaluate the scalar loss from scratch (forward only) using the
+// current parameter values. `analytic_grad` must already be populated in
+// param.grad. Checks up to `max_entries` entries per parameter (stride
+// sampled) against central differences with step `eps`.
+GradCheckResult check_param_gradients(
+    const std::function<double()>& loss, const std::vector<Param*>& params,
+    double eps = 1e-3, std::size_t max_entries = 64);
+
+// Same idea for input gradients: perturbs entries of `input` and compares
+// against `analytic`, re-evaluating `loss()` each time.
+GradCheckResult check_input_gradients(const std::function<double()>& loss,
+                                      Matrix& input, const Matrix& analytic,
+                                      double eps = 1e-3,
+                                      std::size_t max_entries = 64);
+
+}  // namespace passflow::nn

@@ -1,0 +1,66 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace passflow::nn {
+
+namespace {
+Matrix init_weight(std::size_t in, std::size_t out, util::Rng& rng,
+                   Init init) {
+  Matrix w(in, out);
+  double stddev = 0.0;
+  switch (init) {
+    case Init::kHe:
+      stddev = std::sqrt(2.0 / static_cast<double>(in));
+      break;
+    case Init::kXavier:
+      stddev = std::sqrt(2.0 / static_cast<double>(in + out));
+      break;
+    case Init::kZero:
+      return w;
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return w;
+}
+}  // namespace
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               util::Rng& rng, Init init, const std::string& name)
+    : weight_(name + ".weight", init_weight(in_features, out_features, rng, init)),
+      bias_(name + ".bias", Matrix(1, out_features)) {}
+
+Matrix Linear::apply(const Matrix& input) const {
+  Matrix out = matmul(input, weight_.value);
+  add_row_vector(out, bias_.value);
+  return out;
+}
+
+Matrix Linear::forward(const Matrix& input) {
+  cached_input_ = input;
+  return apply(input);
+}
+
+Matrix Linear::forward_inference(const Matrix& input) { return apply(input); }
+
+Matrix Linear::backward(const Matrix& grad_output) {
+  // dW += x^T g ; db += column_sum(g) ; dx = g W^T
+  Matrix dw;
+  matmul_tn(cached_input_, grad_output, dw);
+  add_inplace(weight_.grad, dw);
+
+  Matrix db;
+  column_sum(grad_output, db);
+  add_inplace(bias_.grad, db);
+
+  Matrix dx;
+  matmul_nt(grad_output, weight_.value, dx);
+  return dx;
+}
+
+std::vector<Param*> Linear::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace passflow::nn

@@ -1,0 +1,61 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace passflow::nn {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("from_rows: ragged input");
+    }
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::slice_rows(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rows_) {
+    throw std::out_of_range("slice_rows: bad range");
+  }
+  Matrix out(end - begin, cols_);
+  std::copy(row(begin), row(begin) + (end - begin) * cols_, out.data());
+  return out;
+}
+
+void Matrix::set_rows(std::size_t row_offset, const Matrix& src) {
+  if (src.cols_ != cols_ || row_offset + src.rows_ > rows_) {
+    throw std::out_of_range("set_rows: shape mismatch");
+  }
+  std::copy(src.data(), src.data() + src.size(), row(row_offset));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+std::string Matrix::shape_string() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+}  // namespace passflow::nn

@@ -1,0 +1,69 @@
+// Dense row-major float matrix — the only tensor type in this repo.
+//
+// PassFlow's data space is tiny (password length <= 16), so a 2-D
+// (batch x features) matrix covers every computation in the flow, the CWAE
+// and the GAN. Keeping a single concrete type rather than a general tensor
+// keeps the manual backprop code auditable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace passflow::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(
+      const std::vector<std::vector<float>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  // Returns a matrix containing rows [begin, end).
+  Matrix slice_rows(std::size_t begin, std::size_t end) const;
+  // Copies `src` into rows starting at `row_offset`.
+  void set_rows(std::size_t row_offset, const Matrix& src);
+
+  Matrix transposed() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Frobenius norm; used by gradient clipping and tests.
+  double frobenius_norm() const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace passflow::nn

@@ -1,0 +1,107 @@
+#include "nn/mlp.hpp"
+
+#include "nn/ops.hpp"
+
+namespace passflow::nn {
+
+Mlp::Mlp(std::size_t in_features, const std::vector<std::size_t>& hidden_sizes,
+         std::size_t out_features, util::Rng& rng, ActKind hidden_act,
+         bool has_final_act, ActKind final_act, const std::string& name) {
+  std::size_t prev = in_features;
+  for (std::size_t i = 0; i < hidden_sizes.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(
+        prev, hidden_sizes[i], rng, Init::kHe,
+        name + ".fc" + std::to_string(i)));
+    layers_.push_back(std::make_unique<Activation>(hidden_act));
+    prev = hidden_sizes[i];
+  }
+  layers_.push_back(std::make_unique<Linear>(prev, out_features, rng,
+                                             Init::kXavier, name + ".out"));
+  if (has_final_act) {
+    layers_.push_back(std::make_unique<Activation>(final_act));
+  }
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+  Matrix h = input;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Matrix Mlp::forward_inference(const Matrix& input) {
+  Matrix h = input;
+  for (auto& layer : layers_) h = layer->forward_inference(h);
+  return h;
+}
+
+Matrix Mlp::backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Mlp::parameters() {
+  std::vector<Param*> params;
+  for (auto& layer : layers_) {
+    const auto p = layer->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+ResNetST::ResNetST(std::size_t in_features, std::size_t hidden,
+                   std::size_t depth, std::size_t out_features, util::Rng& rng,
+                   const std::string& name)
+    : in_proj_(in_features, hidden, rng, Init::kHe, name + ".in"),
+      in_act_(ActKind::kRelu),
+      s_head_(hidden, out_features, rng, Init::kZero, name + ".s"),
+      t_head_(hidden, out_features, rng, Init::kZero, name + ".t") {
+  for (std::size_t i = 0; i < depth; ++i) {
+    blocks_.push_back(std::make_unique<ResidualBlock>(
+        hidden, rng, name + ".block" + std::to_string(i)));
+  }
+}
+
+Matrix ResNetST::trunk_forward(const Matrix& input, bool inference) {
+  Matrix h = inference ? in_proj_.forward_inference(input)
+                       : in_proj_.forward(input);
+  h = inference ? in_act_.forward_inference(h) : in_act_.forward(h);
+  for (auto& block : blocks_) {
+    h = inference ? block->forward_inference(h) : block->forward(h);
+  }
+  return h;
+}
+
+ResNetST::Output ResNetST::forward(const Matrix& input) {
+  const Matrix h = trunk_forward(input, /*inference=*/false);
+  return {s_head_.forward(h), t_head_.forward(h)};
+}
+
+ResNetST::Output ResNetST::forward_inference(const Matrix& input) {
+  const Matrix h = trunk_forward(input, /*inference=*/true);
+  return {s_head_.forward_inference(h), t_head_.forward_inference(h)};
+}
+
+Matrix ResNetST::backward(const Matrix& grad_s_raw, const Matrix& grad_t) {
+  Matrix grad_h = s_head_.backward(grad_s_raw);
+  add_inplace(grad_h, t_head_.backward(grad_t));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    grad_h = (*it)->backward(grad_h);
+  }
+  return in_proj_.backward(in_act_.backward(grad_h));
+}
+
+std::vector<Param*> ResNetST::parameters() {
+  std::vector<Param*> params = in_proj_.parameters();
+  for (auto& block : blocks_) {
+    const auto p = block->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  for (Param* p : s_head_.parameters()) params.push_back(p);
+  for (Param* p : t_head_.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace passflow::nn

@@ -1,0 +1,72 @@
+// Sequential MLP container plus the two-headed ResNet used by couplings.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+#include "nn/residual.hpp"
+
+namespace passflow::nn {
+
+// Plain feed-forward stack: Linear -> act -> ... -> Linear. Used by the
+// CWAE encoder/decoder and the GAN generator/discriminator.
+class Mlp : public Module {
+ public:
+  // hidden_sizes may be empty (single Linear). `final_act` of kTanh/kSigmoid
+  // appends an output activation; pass std::nullopt-like kNone via
+  // `has_final_act=false`.
+  Mlp(std::size_t in_features, const std::vector<std::size_t>& hidden_sizes,
+      std::size_t out_features, util::Rng& rng,
+      ActKind hidden_act = ActKind::kRelu, bool has_final_act = false,
+      ActKind final_act = ActKind::kTanh, const std::string& name = "mlp");
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  Matrix forward_inference(const Matrix& input) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+// Shared-trunk network producing the coupling layer's scale and translation:
+//
+//   trunk: Linear(in -> hidden) -> ReLU -> ResBlock^depth
+//   s head: Linear(hidden -> out), zero-init
+//   t head: Linear(hidden -> out), zero-init
+//
+// Zero-initialized heads make every coupling start as the identity map, the
+// standard RealNVP/Glow trick that stabilizes deep flows at the start of
+// training.
+class ResNetST {
+ public:
+  ResNetST(std::size_t in_features, std::size_t hidden, std::size_t depth,
+           std::size_t out_features, util::Rng& rng,
+           const std::string& name = "st");
+
+  struct Output {
+    Matrix s_raw;  // pre-tanh scale logits
+    Matrix t;      // translation
+  };
+
+  Output forward(const Matrix& input);
+  Output forward_inference(const Matrix& input);
+
+  // Backward for the two heads; returns dL/d(input).
+  Matrix backward(const Matrix& grad_s_raw, const Matrix& grad_t);
+
+  std::vector<Param*> parameters();
+
+ private:
+  Matrix trunk_forward(const Matrix& input, bool inference);
+
+  Linear in_proj_;
+  Activation in_act_;
+  std::vector<std::unique_ptr<ResidualBlock>> blocks_;
+  Linear s_head_;
+  Linear t_head_;
+};
+
+}  // namespace passflow::nn

@@ -1,0 +1,60 @@
+// Module interface for the manual-backprop layer stack.
+//
+// Training works the classic way: forward() caches whatever backward() needs;
+// backward() receives dL/d(output), accumulates dL/d(param) into each
+// Param::grad and returns dL/d(input). The optimizer then walks parameters().
+//
+// Layers keep exactly one cached activation set, so a module instance must
+// not be shared across concurrent forward/backward pairs. Inference-only
+// paths (sampling) use the *_inference entry points, which skip caching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace passflow::nn {
+
+// A learnable tensor with its accumulated gradient.
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Param() = default;
+  Param(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Training-mode forward; caches activations for the next backward().
+  virtual Matrix forward(const Matrix& input) = 0;
+
+  // Propagates gradients; must be called after a matching forward().
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  // Inference forward without caching; default falls back to forward().
+  virtual Matrix forward_inference(const Matrix& input) {
+    return forward(input);
+  }
+
+  // Flat list of learnable parameters (owned by the module).
+  virtual std::vector<Param*> parameters() = 0;
+
+  void zero_grad() {
+    for (Param* p : parameters()) p->grad.zero();
+  }
+
+  std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (Param* p : parameters()) n += p->value.size();
+    return n;
+  }
+};
+
+}  // namespace passflow::nn

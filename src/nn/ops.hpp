@@ -1,0 +1,39 @@
+// Matrix kernels used by the layers: GEMM variants and elementwise helpers.
+//
+// The GEMMs are OpenMP-parallel over output rows with a k-inner layout that
+// the compiler auto-vectorizes; at the sizes PassFlow uses (batch <= 4096,
+// hidden <= 512) this is within a small factor of a tuned BLAS and keeps the
+// repository dependency-free.
+#pragma once
+
+#include "nn/matrix.hpp"
+
+namespace passflow::nn {
+
+// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out);
+
+// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out);
+
+// Elementwise (all require matching shapes; checked with assert).
+void add_inplace(Matrix& a, const Matrix& b);           // a += b
+void sub_inplace(Matrix& a, const Matrix& b);           // a -= b
+void hadamard_inplace(Matrix& a, const Matrix& b);      // a *= b
+void scale_inplace(Matrix& a, float s);                 // a *= s
+void axpy_inplace(Matrix& a, float s, const Matrix& b); // a += s * b
+
+// Broadcast ops over rows: b is (1 x cols).
+void add_row_vector(Matrix& a, const Matrix& row);
+// out(0,c) = sum_r a(r,c).
+void column_sum(const Matrix& a, Matrix& out);
+
+// Reductions.
+double sum(const Matrix& a);
+double squared_sum(const Matrix& a);
+
+}  // namespace passflow::nn

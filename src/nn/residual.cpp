@@ -1,0 +1,39 @@
+#include "nn/residual.hpp"
+
+#include "nn/ops.hpp"
+
+namespace passflow::nn {
+
+ResidualBlock::ResidualBlock(std::size_t features, util::Rng& rng,
+                             const std::string& name)
+    : fc1_(features, features, rng, Init::kHe, name + ".fc1"),
+      act_(ActKind::kRelu),
+      fc2_(features, features, rng, Init::kHe, name + ".fc2") {}
+
+Matrix ResidualBlock::forward(const Matrix& input) {
+  Matrix h = fc2_.forward(act_.forward(fc1_.forward(input)));
+  add_inplace(h, input);  // skip connection
+  return h;
+}
+
+Matrix ResidualBlock::forward_inference(const Matrix& input) {
+  Matrix h = fc2_.forward_inference(
+      act_.forward_inference(fc1_.forward_inference(input)));
+  add_inplace(h, input);
+  return h;
+}
+
+Matrix ResidualBlock::backward(const Matrix& grad_output) {
+  Matrix dx = fc1_.backward(act_.backward(fc2_.backward(grad_output)));
+  add_inplace(dx, grad_output);  // gradient through the skip connection
+  return dx;
+}
+
+std::vector<Param*> ResidualBlock::parameters() {
+  std::vector<Param*> params = fc1_.parameters();
+  const auto p2 = fc2_.parameters();
+  params.insert(params.end(), p2.begin(), p2.end());
+  return params;
+}
+
+}  // namespace passflow::nn

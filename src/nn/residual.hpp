@@ -1,0 +1,30 @@
+// Residual block: y = x + W2 * relu(W1 * x + b1) + b2.
+//
+// This is the building block of the s/t networks in PassFlow's coupling
+// layers (§IV-D: "2 residual blocks with a hidden size of 256").
+#pragma once
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+
+namespace passflow::nn {
+
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(std::size_t features, util::Rng& rng,
+                const std::string& name = "resblock");
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  Matrix forward_inference(const Matrix& input) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  Linear fc1_;
+  Activation act_;
+  Linear fc2_;
+};
+
+}  // namespace passflow::nn

@@ -1,0 +1,36 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports `--name=value` and `--name value`; unknown flags raise an error so
+// typos in experiment scripts fail loudly instead of silently running the
+// default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace passflow::util {
+
+class Flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  // Flags seen on the command line that were never queried; used by binaries
+  // to reject typos after all get_* calls are done.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace passflow::util

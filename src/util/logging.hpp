@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The harness and trainers report progress through this interface instead of
+// scattering std::cout across modules, so log volume can be turned down in
+// tests and benchmarks (gtest output stays readable).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace passflow::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one formatted line ("[LEVEL] message") to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace passflow::util
+
+#define PF_LOG_DEBUG ::passflow::util::detail::LogLine(::passflow::util::LogLevel::kDebug)
+#define PF_LOG_INFO ::passflow::util::detail::LogLine(::passflow::util::LogLevel::kInfo)
+#define PF_LOG_WARN ::passflow::util::detail::LogLine(::passflow::util::LogLevel::kWarn)
+#define PF_LOG_ERROR ::passflow::util::detail::LogLine(::passflow::util::LogLevel::kError)

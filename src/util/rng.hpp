@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for PassFlow.
+//
+// Everything in this repository that involves randomness (weight init,
+// dequantization, latent sampling, the synthetic RockYou corpus) flows
+// through this header so that experiments are reproducible from a single
+// seed. The generator is xoshiro256** seeded via splitmix64, which is fast,
+// has a 256-bit state and passes BigCrush; std::mt19937 is avoided because
+// its state is large and its seeding is notoriously easy to get wrong.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace passflow::util {
+
+// splitmix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+// plugged into <random> distributions if ever needed, though the member
+// helpers below cover every use in this repo.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  // modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Standard normal via Box-Muller (cached spare value).
+  double normal();
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  // Bernoulli draw.
+  bool bernoulli(double p);
+
+  // Fills `out` with i.i.d. N(mean, stddev) draws.
+  void fill_normal(std::vector<float>& out, double mean, double stddev);
+
+  // Fisher-Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  // Derives an independent child generator; used to hand one RNG per thread
+  // without correlated streams.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+// Samples an index from a (non-normalized) weight vector. Requires at least
+// one strictly positive weight.
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights);
+
+// Zipf-Mandelbrot sampler over ranks [0, n): P(k) proportional to
+// 1/(k+q)^s. Precomputes the CDF once; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent, double shift = 2.7);
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace passflow::util

@@ -1,0 +1,36 @@
+// Small statistics helpers shared by the evaluation harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace passflow::util {
+
+double mean(const std::vector<double>& values);
+double variance(const std::vector<double>& values);  // population variance
+double stddev(const std::vector<double>& values);
+double median(std::vector<double> values);  // by value: sorts a copy
+
+// Pearson correlation; returns 0 for degenerate (constant) inputs.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace passflow::util

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// Used for embarrassingly parallel work outside the nn GEMM path (which uses
+// OpenMP directly): batched guess generation, corpus synthesis, t-SNE
+// pairwise distances. Kept deliberately simple — static partitioning, no
+// work stealing — because every call site has uniform per-item cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace passflow::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);  // 0 = hardware_concurrency
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for every i in [0, count), splitting [0, count) into
+  // contiguous chunks, one per worker. Blocks until all items finish.
+  // Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Runs fn(chunk_index, begin, end) once per chunk. Useful when the body
+  // wants per-thread scratch state (e.g. one RNG per chunk).
+  void parallel_chunks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace passflow::util

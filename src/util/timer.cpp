@@ -1,0 +1,19 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace passflow::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds) / 60;
+    const int rem = static_cast<int>(seconds) % 60;
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", minutes, rem);
+  }
+  return buf;
+}
+
+}  // namespace passflow::util

@@ -1,0 +1,29 @@
+// Wall-clock timing helpers used by trainers and the bench harness.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace passflow::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Renders a duration as "1.2s" / "3m12s" for progress logs.
+std::string format_duration(double seconds);
+
+}  // namespace passflow::util

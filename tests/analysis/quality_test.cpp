@@ -1,0 +1,82 @@
+#include "analysis/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_rockyou.hpp"
+
+namespace passflow::analysis {
+namespace {
+
+TEST(JensenShannon, ZeroForIdenticalDistributions) {
+  EXPECT_NEAR(jensen_shannon({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+  EXPECT_NEAR(jensen_shannon({2.0, 2.0}, {1.0, 1.0}), 0.0, 1e-12);  // scale-free
+}
+
+TEST(JensenShannon, MaximalForDisjointSupport) {
+  // JSD of disjoint distributions = log 2.
+  EXPECT_NEAR(jensen_shannon({1.0, 0.0}, {0.0, 1.0}), std::log(2.0), 1e-12);
+}
+
+TEST(JensenShannon, SymmetricAndBounded) {
+  const std::vector<double> p = {0.7, 0.2, 0.1};
+  const std::vector<double> q = {0.1, 0.3, 0.6};
+  const double pq = jensen_shannon(p, q);
+  EXPECT_NEAR(pq, jensen_shannon(q, p), 1e-12);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_LT(pq, std::log(2.0));
+}
+
+TEST(JensenShannon, RejectsBadInput) {
+  EXPECT_THROW(jensen_shannon({1.0}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(jensen_shannon({0.0, 0.0}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Quality, SameCorpusScoresNearZero) {
+  data::SyntheticRockyou generator(data::focused_corpus_config(8), 3);
+  const auto a = generator.generate(5000);
+  const auto b = generator.generate(5000);
+  const auto report = compare_sample_quality(a, b, 8);
+  EXPECT_LT(report.length_jsd, 0.01);
+  EXPECT_LT(report.charset_jsd, 0.02);
+  EXPECT_LT(report.structure_jsd, 0.05);
+}
+
+TEST(Quality, RandomStringsScoreFarWorseThanCorpus) {
+  data::SyntheticRockyou generator(data::focused_corpus_config(8), 5);
+  const auto reference = generator.generate(5000);
+  const auto similar = generator.generate(5000);
+
+  util::Rng rng(7);
+  std::vector<std::string> random_strings;
+  for (int i = 0; i < 5000; ++i) {
+    std::string s;
+    const std::size_t len = 4 + rng.uniform_index(5);
+    for (std::size_t j = 0; j < len; ++j) {
+      s += static_cast<char>('a' + rng.uniform_index(26));
+    }
+    random_strings.push_back(std::move(s));
+  }
+  const auto good = compare_sample_quality(similar, reference, 8);
+  const auto bad = compare_sample_quality(random_strings, reference, 8);
+  EXPECT_GT(bad.charset_jsd, 2.0 * good.charset_jsd);
+  EXPECT_GT(bad.structure_jsd, 2.0 * good.structure_jsd);
+}
+
+TEST(Quality, ReportsInputSizes) {
+  const std::vector<std::string> a = {"one1", "two2"};
+  const std::vector<std::string> b = {"three3"};
+  const auto report = compare_sample_quality(a, b, 8);
+  EXPECT_EQ(report.generated, 2u);
+  EXPECT_EQ(report.reference, 1u);
+}
+
+TEST(Quality, RejectsEmptyInput) {
+  EXPECT_THROW(compare_sample_quality({}, {"x"}, 8), std::invalid_argument);
+  EXPECT_THROW(compare_sample_quality({"x"}, {}, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace passflow::analysis

@@ -1,0 +1,124 @@
+#include "analysis/tsne.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace passflow::analysis {
+namespace {
+
+TEST(PerplexityBeta, HigherPerplexityGivesSmallerBeta) {
+  std::vector<double> distances = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0,
+                                   6.0, 7.0, 8.0, 9.0};
+  const double beta_small = perplexity_beta(distances, 0, 2.0);
+  const double beta_large = perplexity_beta(distances, 0, 8.0);
+  EXPECT_GT(beta_small, beta_large);
+}
+
+TEST(PerplexityBeta, ScalesInverselyWithDistanceScale) {
+  std::vector<double> near = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+  std::vector<double> far = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_GT(perplexity_beta(near, 0, 3.0), perplexity_beta(far, 0, 3.0));
+}
+
+TEST(Tsne, RejectsTooFewPoints) {
+  nn::Matrix points(3, 5);
+  EXPECT_THROW(tsne_embed(points), std::invalid_argument);
+}
+
+TEST(Tsne, OutputShapeIsNx2) {
+  util::Rng rng(1);
+  nn::Matrix points(20, 8);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points.data()[i] = static_cast<float>(rng.normal());
+  }
+  TsneConfig config;
+  config.iterations = 50;
+  const nn::Matrix y = tsne_embed(points, config);
+  EXPECT_EQ(y.rows(), 20u);
+  EXPECT_EQ(y.cols(), 2u);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+}
+
+TEST(Tsne, SeparatedClustersStaySeparated) {
+  // Two well-separated Gaussian clusters in 6-D must map to two separated
+  // groups in 2-D: mean inter-cluster distance >> mean intra-cluster.
+  util::Rng rng(2);
+  const std::size_t per_cluster = 25;
+  nn::Matrix points(2 * per_cluster, 6);
+  for (std::size_t r = 0; r < 2 * per_cluster; ++r) {
+    const double center = r < per_cluster ? -8.0 : 8.0;
+    for (std::size_t c = 0; c < 6; ++c) {
+      points(r, c) = static_cast<float>(rng.normal(center, 0.3));
+    }
+  }
+  TsneConfig config;
+  config.iterations = 300;
+  config.perplexity = 10.0;
+  const nn::Matrix y = tsne_embed(points, config);
+
+  auto squared_distance = [&](std::size_t i, std::size_t j) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      const double diff = static_cast<double>(y(i, k)) - y(j, k);
+      acc += diff * diff;
+    }
+    return acc;
+  };
+
+  double intra = 0.0, inter = 0.0;
+  std::size_t intra_pairs = 0, inter_pairs = 0;
+  for (std::size_t i = 0; i < 2 * per_cluster; ++i) {
+    for (std::size_t j = i + 1; j < 2 * per_cluster; ++j) {
+      const bool same = (i < per_cluster) == (j < per_cluster);
+      if (same) {
+        intra += std::sqrt(squared_distance(i, j));
+        ++intra_pairs;
+      } else {
+        inter += std::sqrt(squared_distance(i, j));
+        ++inter_pairs;
+      }
+    }
+  }
+  intra /= static_cast<double>(intra_pairs);
+  inter /= static_cast<double>(inter_pairs);
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(Tsne, DeterministicForSameSeed) {
+  util::Rng rng(3);
+  nn::Matrix points(10, 4);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points.data()[i] = static_cast<float>(rng.normal());
+  }
+  TsneConfig config;
+  config.iterations = 30;
+  const nn::Matrix a = tsne_embed(points, config);
+  const nn::Matrix b = tsne_embed(points, config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Tsne, EmbeddingIsCentered) {
+  util::Rng rng(4);
+  nn::Matrix points(16, 4);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points.data()[i] = static_cast<float>(rng.normal());
+  }
+  TsneConfig config;
+  config.iterations = 40;
+  const nn::Matrix y = tsne_embed(points, config);
+  for (std::size_t k = 0; k < 2; ++k) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < y.rows(); ++r) mean += y(r, k);
+    EXPECT_NEAR(mean / static_cast<double>(y.rows()), 0.0, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace passflow::analysis

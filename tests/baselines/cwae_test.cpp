@@ -1,0 +1,167 @@
+#include "baselines/cwae.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/alphabet.hpp"
+#include "test_support.hpp"
+
+namespace passflow::baselines {
+namespace {
+
+nn::Matrix gaussian_batch(std::size_t rows, std::size_t cols, util::Rng& rng,
+                          double mean = 0.0, double stddev = 1.0) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return m;
+}
+
+TEST(ImqMmd, NearZeroForSameDistribution) {
+  util::Rng rng(1);
+  const nn::Matrix a = gaussian_batch(128, 4, rng);
+  const nn::Matrix b = gaussian_batch(128, 4, rng);
+  nn::Matrix grad;
+  const double mmd = imq_mmd_with_grad(a, b, grad);
+  EXPECT_LT(std::abs(mmd), 0.05);
+}
+
+TEST(ImqMmd, LargeForShiftedDistribution) {
+  util::Rng rng(2);
+  const nn::Matrix a = gaussian_batch(128, 4, rng, 5.0);
+  const nn::Matrix b = gaussian_batch(128, 4, rng, 0.0);
+  nn::Matrix grad;
+  const double mmd = imq_mmd_with_grad(a, b, grad);
+  EXPECT_GT(mmd, 0.3);
+}
+
+TEST(ImqMmd, GradientMatchesNumeric) {
+  util::Rng rng(3);
+  nn::Matrix a = gaussian_batch(6, 3, rng, 1.0);
+  const nn::Matrix b = gaussian_batch(8, 3, rng);
+  nn::Matrix grad;
+  imq_mmd_with_grad(a, b, grad);
+
+  const double eps = 1e-4;
+  for (std::size_t i = 0; i < a.size(); i += 2) {
+    const float original = a.data()[i];
+    nn::Matrix dummy;
+    a.data()[i] = static_cast<float>(original + eps);
+    const double plus = imq_mmd_with_grad(a, b, dummy);
+    a.data()[i] = static_cast<float>(original - eps);
+    const double minus = imq_mmd_with_grad(a, b, dummy);
+    a.data()[i] = original;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, 5e-3) << "entry " << i;
+  }
+}
+
+TEST(ImqMmd, GradientPullsTowardPrior) {
+  // Points far from the prior should receive gradients pointing back
+  // toward it (negative direction for positive offsets).
+  util::Rng rng(4);
+  nn::Matrix a = gaussian_batch(32, 2, rng, 3.0, 0.1);
+  const nn::Matrix b = gaussian_batch(64, 2, rng);
+  nn::Matrix grad;
+  imq_mmd_with_grad(a, b, grad);
+  double mean_grad = 0.0;
+  for (std::size_t i = 0; i < grad.size(); ++i) mean_grad += grad.data()[i];
+  EXPECT_GT(mean_grad, 0.0);  // descending reduces the offset
+}
+
+TEST(ImqMmd, DegenerateBatchesReturnZero) {
+  util::Rng rng(5);
+  const nn::Matrix tiny = gaussian_batch(1, 3, rng);
+  const nn::Matrix b = gaussian_batch(8, 3, rng);
+  nn::Matrix grad;
+  EXPECT_DOUBLE_EQ(imq_mmd_with_grad(tiny, b, grad), 0.0);
+}
+
+class CwaeTest : public ::testing::Test {
+ protected:
+  passflow::testing::QuietLogs quiet_;
+  data::Encoder encoder_{data::Alphabet::compact(), 6};
+
+  CwaeConfig small_config() {
+    CwaeConfig config;
+    config.latent_dim = 8;
+    config.encoder_hidden = {32};
+    config.decoder_hidden = {32};
+    config.epochs = 6;
+    config.batch_size = 64;
+    return config;
+  }
+};
+
+TEST_F(CwaeTest, TrainingReducesLoss) {
+  util::Rng rng(6);
+  Cwae model(encoder_, small_config(), rng);
+  const auto corpus = passflow::testing::toy_corpus(30);
+
+  // First epoch loss approximated by a 1-epoch model.
+  util::Rng rng2(6);
+  CwaeConfig one_epoch = small_config();
+  one_epoch.epochs = 1;
+  Cwae first(encoder_, one_epoch, rng2);
+  const double loss_after_one = first.train(corpus);
+  const double loss_after_many = model.train(corpus);
+  EXPECT_LT(loss_after_many, loss_after_one);
+}
+
+TEST_F(CwaeTest, DecodeLatentProducesUnitIntervalFeatures) {
+  util::Rng rng(7);
+  Cwae model(encoder_, small_config(), rng);
+  model.train(passflow::testing::toy_corpus(10));
+  nn::Matrix z = gaussian_batch(16, 8, rng);
+  const nn::Matrix x = model.decode_latent(z);
+  ASSERT_EQ(x.cols(), 6u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_GT(x.data()[i], 0.0f);
+    EXPECT_LT(x.data()[i], 1.0f);
+  }
+}
+
+TEST_F(CwaeTest, EncoderMapsToLatentDim) {
+  util::Rng rng(8);
+  Cwae model(encoder_, small_config(), rng);
+  const nn::Matrix x = encoder_.encode_batch({"abc123", "qwerty"});
+  const nn::Matrix z = model.encode_features(x);
+  EXPECT_EQ(z.rows(), 2u);
+  EXPECT_EQ(z.cols(), 8u);
+}
+
+TEST_F(CwaeTest, SamplerProducesValidGuesses) {
+  util::Rng rng(9);
+  Cwae model(encoder_, small_config(), rng);
+  model.train(passflow::testing::toy_corpus(10));
+  CwaeSampler sampler(model, encoder_);
+  std::vector<std::string> out;
+  sampler.generate(300, out);
+  EXPECT_EQ(out.size(), 300u);
+  for (const auto& p : out) {
+    EXPECT_LE(p.size(), 6u);
+    EXPECT_TRUE(encoder_.alphabet().validates(p)) << p;
+  }
+  EXPECT_EQ(sampler.name(), "CWAE");
+}
+
+TEST_F(CwaeTest, ReconstructsTrainingPasswordsApproximately) {
+  util::Rng rng(10);
+  CwaeConfig config = small_config();
+  config.epochs = 25;
+  config.mmd_weight = 1.0;
+  Cwae model(encoder_, config, rng);
+  const auto corpus = passflow::testing::toy_corpus(50);
+  model.train(corpus);
+
+  // Encode a training password and decode its latent: at least the shape
+  // (first characters) should survive the bottleneck on this tiny corpus.
+  const nn::Matrix x = encoder_.encode_batch({"123456"});
+  const nn::Matrix z = model.encode_features(x);
+  const nn::Matrix xr = model.decode_latent(z);
+  const auto decoded = encoder_.decode_batch(xr);
+  EXPECT_FALSE(decoded[0].empty());
+}
+
+}  // namespace
+}  // namespace passflow::baselines

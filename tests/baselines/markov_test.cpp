@@ -1,0 +1,130 @@
+#include "baselines/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace passflow::baselines {
+namespace {
+
+class MarkovTest : public ::testing::Test {
+ protected:
+  const data::Alphabet& alphabet_ = data::Alphabet::compact();
+};
+
+TEST_F(MarkovTest, SampleBeforeTrainThrows) {
+  MarkovModel model(alphabet_, 2, 8);
+  util::Rng rng(1);
+  EXPECT_THROW(model.sample(rng), std::logic_error);
+  EXPECT_THROW(model.log_prob("abc"), std::logic_error);
+}
+
+TEST_F(MarkovTest, SamplesRespectMaxLength) {
+  MarkovModel model(alphabet_, 1, 5);
+  model.train({"abcdefgh", "12345678", "aaaa", "bbbb"});
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LE(model.sample(rng).size(), 5u);
+  }
+}
+
+TEST_F(MarkovTest, SamplesUseAlphabetOnly) {
+  MarkovModel model(alphabet_, 2, 8);
+  model.train({"password", "love123", "qwerty"});
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(alphabet_.validates(model.sample(rng)));
+  }
+}
+
+TEST_F(MarkovTest, LearnsDeterministicSequence) {
+  // Training only on "ababab": an order-1 model with small smoothing should
+  // almost always produce alternating ab strings.
+  MarkovModel model(alphabet_, 1, 6, /*add_k=*/0.001);
+  std::vector<std::string> corpus(50, "ababab");
+  model.train(corpus);
+  util::Rng rng(4);
+  int good = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string s = model.sample(rng);
+    bool alternating = !s.empty() && s[0] == 'a';
+    for (std::size_t j = 1; j < s.size(); ++j) {
+      alternating &= (s[j] == (j % 2 == 0 ? 'a' : 'b'));
+    }
+    if (alternating) ++good;
+  }
+  EXPECT_GT(good, 150);
+}
+
+TEST_F(MarkovTest, LogProbOrdersSeenAboveUnseen) {
+  MarkovModel model(alphabet_, 2, 8);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back("password");
+    corpus.push_back("love1234");
+  }
+  model.train(corpus);
+  EXPECT_GT(model.log_prob("password"), model.log_prob("zxqwvjkm"));
+}
+
+TEST_F(MarkovTest, LogProbOfUnrepresentableIsMinusInfinity) {
+  MarkovModel model(alphabet_, 1, 4);
+  model.train({"abcd"});
+  EXPECT_EQ(model.log_prob("UPPER"),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(model.log_prob("waytoolongstring"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(MarkovTest, TrainSkipsUnrepresentableEntries) {
+  MarkovModel model(alphabet_, 1, 6);
+  model.train({"ab", "TOOLONGFORSURE", "NOPE!", "cd"});
+  util::Rng rng(5);
+  // Should still sample fine from the two valid entries.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(alphabet_.validates(model.sample(rng)));
+  }
+}
+
+TEST_F(MarkovTest, HigherOrderCapturesLongerContext) {
+  // "abcabc" vs "abxaby": order-2 distinguishes what follows "ab" by
+  // context, order-0 cannot.
+  std::vector<std::string> corpus(30, "abcabc");
+  MarkovModel order0(alphabet_, 0, 6, 0.01);
+  MarkovModel order2(alphabet_, 2, 6, 0.01);
+  order0.train(corpus);
+  order2.train(corpus);
+  EXPECT_GT(order2.log_prob("abcabc"), order0.log_prob("abcabc"));
+}
+
+TEST_F(MarkovTest, LogProbSumsToOneOverTinyUniverse) {
+  // Over a 2-letter alphabet with max length 2, the model's probabilities
+  // over all possible strings (including empty) must sum to ~1.
+  data::Alphabet tiny("ab");
+  MarkovModel model(tiny, 1, 2, 0.1);
+  model.train({"a", "ab", "b", "aa"});
+  double total = 0.0;
+  const std::vector<std::string> universe = {"",   "a",  "b", "aa",
+                                             "ab", "ba", "bb"};
+  for (const std::string& s : universe) {
+    total += std::exp(model.log_prob(s));
+  }
+  // Strings of length 2 cannot emit an end symbol (generation stops at
+  // max_length), so log_prob slightly undercounts; accept a loose band.
+  EXPECT_GT(total, 0.7);
+  EXPECT_LT(total, 1.1);
+}
+
+TEST_F(MarkovTest, SamplerInterfaceProducesCount) {
+  MarkovModel model(alphabet_, 2, 8);
+  model.train({"password", "123456", "qwerty"});
+  MarkovSampler sampler(model);
+  std::vector<std::string> out;
+  sampler.generate(100, out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(sampler.name(), "Markov-2");
+}
+
+}  // namespace
+}  // namespace passflow::baselines

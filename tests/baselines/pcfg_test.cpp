@@ -1,0 +1,182 @@
+#include "baselines/pcfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace passflow::baselines {
+namespace {
+
+TEST(PcfgStructure, ClassifiesCharacters) {
+  EXPECT_EQ(classify_char('a'), SegmentClass::kLetter);
+  EXPECT_EQ(classify_char('Z'), SegmentClass::kLetter);
+  EXPECT_EQ(classify_char('7'), SegmentClass::kDigit);
+  EXPECT_EQ(classify_char('!'), SegmentClass::kSymbol);
+  EXPECT_EQ(classify_char('_'), SegmentClass::kSymbol);
+}
+
+TEST(PcfgStructure, ParsesMaximalRuns) {
+  const Structure s = parse_structure("jimmy91");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].cls, SegmentClass::kLetter);
+  EXPECT_EQ(s[0].length, 5u);
+  EXPECT_EQ(s[1].cls, SegmentClass::kDigit);
+  EXPECT_EQ(s[1].length, 2u);
+}
+
+TEST(PcfgStructure, ToStringMatchesWeirNotation) {
+  EXPECT_EQ(structure_to_string(parse_structure("jimmy91")), "L5D2");
+  EXPECT_EQ(structure_to_string(parse_structure("pass!1")), "L4S1D1");
+  EXPECT_EQ(structure_to_string(parse_structure("123456")), "D6");
+  EXPECT_EQ(structure_to_string(parse_structure("")), "");
+}
+
+class PcfgModelTest : public ::testing::Test {
+ protected:
+  PcfgModelTest() {
+    corpus_ = {"jimmy91", "sarah88", "maria77", "jimmy91", "jimmy91",
+               "love123", "love123", "star123", "123456",  "123456",
+               "123456",  "123456",  "qwerty",  "dragon"};
+    model_.train(corpus_);
+  }
+  std::vector<std::string> corpus_;
+  PcfgModel model_{8};
+};
+
+TEST_F(PcfgModelTest, TrainLearnsStructures) {
+  // Structures present: L5D2, L4D3, D6, L6.
+  EXPECT_EQ(model_.structure_count(), 4u);
+}
+
+TEST_F(PcfgModelTest, LogProbFactorizes) {
+  // P("jimmy91") = P(L5D2) * P(jimmy|L5) * P(91|D2)
+  // counts: L5D2 x5 of 14; jimmy 3/5 among L5 {jimmy x3, sarah, maria};
+  // 91 3/5 among D2 {91 x3, 88, 77}.
+  const double expected =
+      std::log(5.0 / 14.0) + std::log(3.0 / 5.0) + std::log(3.0 / 5.0);
+  EXPECT_NEAR(model_.log_prob("jimmy91"), expected, 1e-9);
+}
+
+TEST_F(PcfgModelTest, CrossTerminalGeneralization) {
+  // "sarah77" was never seen, but structure + terminals were: the PCFG
+  // generalizes across segment combinations (Weir's key property).
+  EXPECT_TRUE(std::isfinite(model_.log_prob("sarah77")));
+  EXPECT_GT(model_.log_prob("sarah77"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(PcfgModelTest, UnseenStructureIsImpossible) {
+  EXPECT_EQ(model_.log_prob("!!!!"),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(model_.log_prob("a1a1a1a1"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(PcfgModelTest, UnseenTerminalIsImpossible) {
+  EXPECT_EQ(model_.log_prob("zzzzz12"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(PcfgModelTest, EnumerationIsInDescendingProbability) {
+  const auto guesses = model_.enumerate(50);
+  ASSERT_FALSE(guesses.empty());
+  double previous = model_.log_prob(guesses[0]);
+  for (std::size_t i = 1; i < guesses.size(); ++i) {
+    const double current = model_.log_prob(guesses[i]);
+    EXPECT_LE(current, previous + 1e-9)
+        << guesses[i - 1] << " then " << guesses[i];
+    previous = current;
+  }
+}
+
+TEST_F(PcfgModelTest, EnumerationStartsWithTheMode) {
+  // P("123456") = P(D6) * P(123456|D6) = (4/14) * 1 = 0.286, the highest
+  // probability string in this grammar; next is "love123" with
+  // (3/14) * (2/3) * 1 = 0.143, then "jimmy91" with 5/14 * 3/5 * 3/5.
+  const auto guesses = model_.enumerate(5);
+  ASSERT_GE(guesses.size(), 3u);
+  EXPECT_EQ(guesses[0], "123456");
+  EXPECT_EQ(guesses[1], "love123");
+  EXPECT_EQ(guesses[2], "jimmy91");
+}
+
+TEST_F(PcfgModelTest, EnumerationHasNoDuplicates) {
+  const auto guesses = model_.enumerate(200);
+  std::unordered_set<std::string> unique(guesses.begin(), guesses.end());
+  EXPECT_EQ(unique.size(), guesses.size());
+}
+
+TEST_F(PcfgModelTest, EnumerationExhaustsFiniteGrammar) {
+  // Grammar support: L5D2 3x3=9, L4D3 2x1=2, D6 1, L6 2 -> 14 strings.
+  const auto guesses = model_.enumerate(1000);
+  EXPECT_EQ(guesses.size(), 14u);
+}
+
+TEST_F(PcfgModelTest, SamplesComeFromTheGrammar) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(std::isfinite(model_.log_prob(model_.sample(rng))));
+  }
+}
+
+TEST_F(PcfgModelTest, SampleFrequencyTracksProbability) {
+  util::Rng rng(5);
+  int mode_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model_.sample(rng) == "jimmy91") ++mode_count;
+  }
+  const double expected = (5.0 / 14.0) * (3.0 / 5.0) * (3.0 / 5.0);
+  EXPECT_NEAR(static_cast<double>(mode_count) / n, expected, 0.02);
+}
+
+TEST(PcfgModel, TrainRejectsEmptyCorpus) {
+  PcfgModel model(8);
+  EXPECT_THROW(model.train({}), std::invalid_argument);
+  EXPECT_THROW(model.train({"waytoolongpassword"}), std::invalid_argument);
+}
+
+TEST(PcfgModel, UntrainedThrows) {
+  PcfgModel model(8);
+  util::Rng rng(1);
+  EXPECT_THROW(model.sample(rng), std::logic_error);
+  EXPECT_THROW(model.log_prob("x"), std::logic_error);
+  EXPECT_THROW(model.enumerate(5), std::logic_error);
+}
+
+TEST(PcfgSamplers, GeneratorInterfaces) {
+  PcfgModel model(8);
+  model.train({"abc12", "abc12", "xyz34", "hello"});
+  PcfgSampler sampler(model);
+  std::vector<std::string> out;
+  sampler.generate(50, out);
+  EXPECT_EQ(out.size(), 50u);
+
+  PcfgEnumerator enumerator(model);
+  std::vector<std::string> enumerated;
+  enumerator.generate(3, enumerated);
+  EXPECT_EQ(enumerated.size(), 3u);
+  // Continuation picks up where it left off, without repeating.
+  std::vector<std::string> more;
+  enumerator.generate(3, more);
+  for (const auto& g : more) {
+    if (g.empty()) continue;  // exhausted filler
+    EXPECT_EQ(std::count(enumerated.begin(), enumerated.end(), g), 0)
+        << g << " repeated across generate() calls";
+  }
+}
+
+TEST(PcfgEnumerator, ExhaustionEmitsFiller) {
+  PcfgModel model(8);
+  model.train({"ab", "ab"});
+  PcfgEnumerator enumerator(model);
+  std::vector<std::string> out;
+  enumerator.generate(5, out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], "ab");
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_TRUE(out[i].empty());
+}
+
+}  // namespace
+}  // namespace passflow::baselines

@@ -1,0 +1,121 @@
+#include "baselines/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace passflow::baselines {
+namespace {
+
+TEST(Rules, PrimitivesBehave) {
+  EXPECT_EQ(rule_identity().apply("word"), "word");
+  EXPECT_EQ(rule_capitalize().apply("word"), "Word");
+  EXPECT_EQ(rule_capitalize().apply(""), "");
+  EXPECT_EQ(rule_uppercase().apply("wOrd1"), "WORD1");
+  EXPECT_EQ(rule_reverse().apply("abc"), "cba");
+  EXPECT_EQ(rule_duplicate().apply("ab"), "abab");
+  EXPECT_EQ(rule_leet().apply("passel"), "p4553l");
+  EXPECT_EQ(rule_append("123").apply("x"), "x123");
+  EXPECT_EQ(rule_prepend("1").apply("x"), "1x");
+  EXPECT_EQ(rule_truncate(3).apply("abcdef"), "abc");
+  EXPECT_EQ(rule_truncate(9).apply("abc"), "abc");
+}
+
+TEST(Rules, LeetSubstitutions) {
+  EXPECT_EQ(rule_leet().apply("aeios"), "43105");
+  EXPECT_EQ(rule_leet().apply("xyz"), "xyz");
+}
+
+TEST(Rules, ComposeAppliesInOrder) {
+  const auto composed =
+      rule_compose("c$1", rule_capitalize(), rule_append("1"));
+  EXPECT_EQ(composed.apply("word"), "Word1");
+  EXPECT_EQ(composed.name, "c$1");
+}
+
+TEST(Rules, DefaultRulesetStartsWithIdentity) {
+  const auto rules = default_ruleset();
+  ASSERT_GT(rules.size(), 10u);
+  EXPECT_EQ(rules[0].apply("hello"), "hello");
+}
+
+TEST(Rules, DefaultRulesetContainsTwoDigitYears) {
+  // "05" style suffixes must be zero-padded (regression check).
+  const auto rules = default_ruleset();
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.name == "$05") {
+      found = true;
+      EXPECT_EQ(rule.apply("x"), "x05");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RuleEngine, IteratesRuleMajorWordMinor) {
+  RuleEngine engine({"aa", "bb"}, {rule_identity(), rule_append("1")}, 10);
+  std::vector<std::string> out;
+  engine.generate(4, out);
+  EXPECT_EQ(out, (std::vector<std::string>{"aa", "bb", "aa1", "bb1"}));
+}
+
+TEST(RuleEngine, TruncatesToMaxLength) {
+  RuleEngine engine({"abcdefgh"}, {rule_duplicate()}, 10);
+  std::vector<std::string> out;
+  engine.generate(1, out);
+  EXPECT_EQ(out[0].size(), 10u);
+}
+
+TEST(RuleEngine, ExhaustionEmitsFiller) {
+  RuleEngine engine({"w"}, {rule_identity()}, 10);
+  std::vector<std::string> out;
+  engine.generate(3, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "w");
+  EXPECT_TRUE(out[1].empty());
+  EXPECT_TRUE(engine.exhausted());
+}
+
+TEST(RuleEngine, CapacityIsRulesTimesWords) {
+  RuleEngine engine({"a", "b", "c"}, default_ruleset(), 10);
+  EXPECT_EQ(engine.capacity(), 3 * default_ruleset().size());
+}
+
+TEST(WordlistFromCorpus, OrdersByFrequency) {
+  const auto wordlist = wordlist_from_corpus(
+      {"rare", "common", "common", "common", "mid", "mid"}, 10);
+  ASSERT_EQ(wordlist.size(), 3u);
+  EXPECT_EQ(wordlist[0], "common");
+  EXPECT_EQ(wordlist[1], "mid");
+  EXPECT_EQ(wordlist[2], "rare");
+}
+
+TEST(WordlistFromCorpus, CapsSize) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 100; ++i) corpus.push_back("w" + std::to_string(i));
+  EXPECT_EQ(wordlist_from_corpus(corpus, 10).size(), 10u);
+}
+
+TEST(WordlistFromCorpus, DeterministicTieBreak) {
+  const auto a = wordlist_from_corpus({"b", "a", "c"}, 3);
+  const auto b = wordlist_from_corpus({"c", "b", "a"}, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RuleEngine, AttackShapeFindsMangledTargets) {
+  // Wordlist attack semantics: targets derived from wordlist entries via
+  // covered rules must appear in the stream.
+  RuleEngine engine({"dragon", "love"}, default_ruleset(), 12);
+  std::vector<std::string> out;
+  engine.generate(engine.capacity(), out);
+  const std::unordered_set<std::string> stream(out.begin(), out.end());
+  EXPECT_TRUE(stream.count("dragon1"));
+  EXPECT_TRUE(stream.count("love123"));
+  EXPECT_TRUE(stream.count("Dragon1"));
+  EXPECT_TRUE(stream.count("l0v3"));
+  EXPECT_TRUE(stream.count("dragon1995"));
+}
+
+}  // namespace
+}  // namespace passflow::baselines

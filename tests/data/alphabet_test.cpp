@@ -1,0 +1,79 @@
+#include "data/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace passflow::data {
+namespace {
+
+TEST(Alphabet, PadIsCodeZero) {
+  const Alphabet& a = Alphabet::standard();
+  EXPECT_EQ(a.char_of(0), '\0');
+}
+
+TEST(Alphabet, StandardContainsExpectedClasses) {
+  const Alphabet& a = Alphabet::standard();
+  EXPECT_TRUE(a.contains('a'));
+  EXPECT_TRUE(a.contains('z'));
+  EXPECT_TRUE(a.contains('0'));
+  EXPECT_TRUE(a.contains('9'));
+  EXPECT_TRUE(a.contains('A'));
+  EXPECT_TRUE(a.contains('!'));
+  EXPECT_FALSE(a.contains(' '));
+  EXPECT_FALSE(a.contains('\n'));
+}
+
+TEST(Alphabet, CompactIsLowercaseAndDigitsOnly) {
+  const Alphabet& a = Alphabet::compact();
+  EXPECT_EQ(a.size(), 37u);  // PAD + 26 + 10
+  EXPECT_TRUE(a.contains('m'));
+  EXPECT_TRUE(a.contains('5'));
+  EXPECT_FALSE(a.contains('M'));
+  EXPECT_FALSE(a.contains('!'));
+}
+
+TEST(Alphabet, CodeCharRoundTrip) {
+  const Alphabet& a = Alphabet::standard();
+  for (std::size_t code = 1; code < a.size(); ++code) {
+    const char c = a.char_of(code);
+    const auto back = a.code_of(c);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, code);
+  }
+}
+
+TEST(Alphabet, CodeOfUnknownIsNullopt) {
+  EXPECT_FALSE(Alphabet::compact().code_of('~').has_value());
+}
+
+TEST(Alphabet, CharOfOutOfRangeThrows) {
+  const Alphabet& a = Alphabet::compact();
+  EXPECT_THROW(a.char_of(a.size()), std::out_of_range);
+}
+
+TEST(Alphabet, ValidatesAcceptsGoodRejectsBad) {
+  const Alphabet& a = Alphabet::compact();
+  EXPECT_TRUE(a.validates("abc123"));
+  EXPECT_TRUE(a.validates(""));
+  EXPECT_FALSE(a.validates("ABC"));
+  EXPECT_FALSE(a.validates("with space"));
+  EXPECT_FALSE(a.validates(std::string(1, '\0')));
+}
+
+TEST(Alphabet, SanitizeReplacesOutOfAlphabet) {
+  const Alphabet& a = Alphabet::compact();
+  EXPECT_EQ(a.sanitize("He llo!", 'x'), "xexllox");
+  EXPECT_EQ(a.sanitize("abc"), "abc");
+  EXPECT_EQ(a.sanitize("aBc", 'q'), "aqc");
+}
+
+TEST(Alphabet, DuplicateSymbolThrows) {
+  EXPECT_THROW(Alphabet("aa"), std::invalid_argument);
+}
+
+TEST(Alphabet, SizeIncludesPad) {
+  Alphabet a("xyz");
+  EXPECT_EQ(a.size(), 4u);
+}
+
+}  // namespace
+}  // namespace passflow::data

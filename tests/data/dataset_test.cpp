@@ -1,0 +1,80 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace passflow::data {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  Encoder encoder_{Alphabet::compact(), 8};
+};
+
+TEST_F(DatasetTest, RejectsEmpty) {
+  EXPECT_THROW(Dataset({}, encoder_), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, RejectsUnrepresentablePassword) {
+  EXPECT_THROW(Dataset({"waytoolongpassword"}, encoder_),
+               std::invalid_argument);
+  EXPECT_THROW(Dataset({"UPPER"}, encoder_), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, BatchesCoverEpochExactlyOnce) {
+  std::vector<std::string> passwords;
+  for (int i = 0; i < 10; ++i) passwords.push_back("pw" + std::to_string(i));
+  Dataset dataset(passwords, encoder_);
+  util::Rng rng(1);
+  dataset.start_epoch(rng);
+
+  nn::Matrix batch;
+  std::multiset<std::string> seen;
+  std::size_t total = 0;
+  while (dataset.next_batch(3, rng, batch) > 0) {
+    total += batch.rows();
+    for (const auto& p : encoder_.decode_batch(batch)) seen.insert(p);
+  }
+  EXPECT_EQ(total, passwords.size());
+  for (const auto& p : passwords) EXPECT_EQ(seen.count(p), 1u);
+}
+
+TEST_F(DatasetTest, NextBatchReturnsZeroAtEnd) {
+  Dataset dataset({"one1"}, encoder_);
+  util::Rng rng(2);
+  dataset.start_epoch(rng);
+  nn::Matrix batch;
+  EXPECT_EQ(dataset.next_batch(8, rng, batch), 1u);
+  EXPECT_EQ(dataset.next_batch(8, rng, batch), 0u);
+}
+
+TEST_F(DatasetTest, StartEpochReshuffles) {
+  std::vector<std::string> passwords;
+  for (int i = 0; i < 50; ++i) passwords.push_back("p" + std::to_string(i));
+  Dataset dataset(passwords, encoder_);
+  util::Rng rng(3);
+
+  auto epoch_order = [&]() {
+    dataset.start_epoch(rng);
+    nn::Matrix batch;
+    std::vector<std::string> order;
+    while (dataset.next_batch(50, rng, batch) > 0) {
+      const auto decoded = encoder_.decode_batch(batch);
+      order.insert(order.end(), decoded.begin(), decoded.end());
+    }
+    return order;
+  };
+  EXPECT_NE(epoch_order(), epoch_order());
+}
+
+TEST_F(DatasetTest, BatchesPerEpochCeils) {
+  std::vector<std::string> passwords(10, "same");
+  Dataset dataset(passwords, encoder_);
+  EXPECT_EQ(dataset.batches_per_epoch(3), 4u);
+  EXPECT_EQ(dataset.batches_per_epoch(5), 2u);
+  EXPECT_EQ(dataset.batches_per_epoch(100), 1u);
+}
+
+}  // namespace
+}  // namespace passflow::data

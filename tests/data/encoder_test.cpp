@@ -1,0 +1,132 @@
+#include "data/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace passflow::data {
+namespace {
+
+TEST(Encoder, DimMatchesMaxLength) {
+  Encoder enc(Alphabet::compact(), 10);
+  EXPECT_EQ(enc.dim(), 10u);
+}
+
+TEST(Encoder, RejectsZeroLength) {
+  EXPECT_THROW(Encoder(Alphabet::compact(), 0), std::invalid_argument);
+}
+
+TEST(Encoder, EncodeDecodeRoundTrip) {
+  Encoder enc(Alphabet::compact(), 8);
+  const std::vector<std::string> cases = {"abc",    "password", "12345678",
+                                          "a1b2c3", "z",        ""};
+  for (const std::string& password : cases) {
+    EXPECT_EQ(enc.decode(enc.encode(password)), password) << password;
+  }
+}
+
+TEST(Encoder, EncodeRejectsTooLong) {
+  Encoder enc(Alphabet::compact(), 4);
+  EXPECT_THROW(enc.encode("toolong"), std::invalid_argument);
+}
+
+TEST(Encoder, EncodeRejectsOutOfAlphabet) {
+  Encoder enc(Alphabet::compact(), 8);
+  EXPECT_THROW(enc.encode("ABC"), std::invalid_argument);
+}
+
+TEST(Encoder, ValuesAreInUnitInterval) {
+  Encoder enc(Alphabet::compact(), 8);
+  const auto features = enc.encode("abc123");
+  for (float f : features) {
+    EXPECT_GT(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Encoder, PadFillsTail) {
+  Encoder enc(Alphabet::compact(), 6);
+  const auto features = enc.encode("ab");
+  // Positions 2..5 are PAD (code 0), whose bin center is 0.5*bin_width.
+  const float pad_value = 0.5f * enc.bin_width();
+  for (std::size_t i = 2; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(features[i], pad_value);
+  }
+}
+
+TEST(Encoder, DecodeStopsAtInteriorPad) {
+  Encoder enc(Alphabet::compact(), 6);
+  auto features = enc.encode("abcdef");
+  features[2] = 0.5f * enc.bin_width();  // force PAD at position 2
+  EXPECT_EQ(enc.decode(features), "ab");
+}
+
+TEST(Encoder, DecodeClampsOutOfRangeValues) {
+  Encoder enc(Alphabet::compact(), 3);
+  // Values beyond 1.0 clamp to the last symbol; below 0 clamp to PAD.
+  std::vector<float> features = {5.0f, 0.1f, -3.0f};
+  const std::string decoded = enc.decode(features);
+  ASSERT_FALSE(decoded.empty());
+  EXPECT_EQ(decoded[0], '9');  // last symbol of the compact alphabet
+}
+
+TEST(Encoder, DequantizedStaysInBin) {
+  Encoder enc(Alphabet::compact(), 8);
+  util::Rng rng(1);
+  const std::string password = "secret12";
+  const auto exact = enc.encode(password);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto noisy = enc.encode_dequantized(password, rng);
+    // Every dequantized vector must decode back to the same password.
+    EXPECT_EQ(enc.decode(noisy), password);
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      EXPECT_NEAR(noisy[i], exact[i], 0.5f * enc.bin_width() + 1e-6f);
+    }
+  }
+}
+
+TEST(Encoder, BatchEncodingMatchesSingle) {
+  Encoder enc(Alphabet::compact(), 8);
+  const std::vector<std::string> passwords = {"aaa", "bb1", "c2c2"};
+  const nn::Matrix batch = enc.encode_batch(passwords);
+  ASSERT_EQ(batch.rows(), 3u);
+  for (std::size_t r = 0; r < passwords.size(); ++r) {
+    const auto single = enc.encode(passwords[r]);
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_FLOAT_EQ(batch(r, c), single[c]);
+    }
+  }
+}
+
+TEST(Encoder, DecodeBatchRoundTrip) {
+  Encoder enc(Alphabet::compact(), 8);
+  const std::vector<std::string> passwords = {"hello", "w0rld", "12ab"};
+  const auto decoded = enc.decode_batch(enc.encode_batch(passwords));
+  EXPECT_EQ(decoded, passwords);
+}
+
+// Property sweep: random passwords over the alphabet round-trip through
+// both deterministic and dequantized encodings.
+class EncoderRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderRoundTripTest, RandomPasswordsRoundTrip) {
+  const Alphabet& alphabet = Alphabet::standard();
+  Encoder enc(alphabet, 10);
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t len = rng.uniform_index(11);
+    std::string password;
+    for (std::size_t i = 0; i < len; ++i) {
+      // Codes 1..size-1 (skip PAD).
+      password += alphabet.char_of(1 + rng.uniform_index(alphabet.size() - 1));
+    }
+    EXPECT_EQ(enc.decode(enc.encode(password)), password);
+    EXPECT_EQ(enc.decode(enc.encode_dequantized(password, rng)), password);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace passflow::data

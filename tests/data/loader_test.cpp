@@ -1,0 +1,91 @@
+#include "data/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace passflow::data {
+namespace {
+
+TEST(Loader, KeepsValidLines) {
+  std::istringstream in("abc123\nqwerty\n");
+  LoadStats stats;
+  const auto passwords =
+      load_password_lines(in, Alphabet::compact(), {}, &stats);
+  EXPECT_EQ(passwords, (std::vector<std::string>{"abc123", "qwerty"}));
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.total_lines, 2u);
+}
+
+TEST(Loader, StripsCarriageReturns) {
+  std::istringstream in("abc\r\nxyz\r\n");
+  const auto passwords = load_password_lines(in, Alphabet::compact(), {});
+  EXPECT_EQ(passwords, (std::vector<std::string>{"abc", "xyz"}));
+}
+
+TEST(Loader, FiltersTooLongAndCountsThem) {
+  LoadOptions options;
+  options.max_length = 4;
+  std::istringstream in("ok12\ntoolongline\nfine\n");
+  LoadStats stats;
+  const auto passwords =
+      load_password_lines(in, Alphabet::compact(), options, &stats);
+  EXPECT_EQ(passwords.size(), 2u);
+  EXPECT_EQ(stats.too_long, 1u);
+}
+
+TEST(Loader, FiltersOutOfAlphabet) {
+  std::istringstream in("good1\nBad!\nok\n");
+  LoadStats stats;
+  const auto passwords =
+      load_password_lines(in, Alphabet::compact(), {}, &stats);
+  EXPECT_EQ(passwords, (std::vector<std::string>{"good1", "ok"}));
+  EXPECT_EQ(stats.out_of_alphabet, 1u);
+}
+
+TEST(Loader, LowercaseFoldRescuesMixedCase) {
+  LoadOptions options;
+  options.lowercase = true;
+  std::istringstream in("MiXeD1\n");
+  const auto passwords =
+      load_password_lines(in, Alphabet::compact(), options);
+  EXPECT_EQ(passwords, (std::vector<std::string>{"mixed1"}));
+}
+
+TEST(Loader, SkipsEmptyLines) {
+  std::istringstream in("\n\nreal\n");
+  LoadStats stats;
+  const auto passwords =
+      load_password_lines(in, Alphabet::compact(), {}, &stats);
+  EXPECT_EQ(passwords.size(), 1u);
+  EXPECT_EQ(stats.empty, 2u);
+}
+
+TEST(Loader, MaxEntriesStopsEarly) {
+  LoadOptions options;
+  options.max_entries = 2;
+  std::istringstream in("a1\nb2\nc3\nd4\n");
+  const auto passwords =
+      load_password_lines(in, Alphabet::compact(), options);
+  EXPECT_EQ(passwords.size(), 2u);
+}
+
+TEST(Loader, MissingFileThrows) {
+  EXPECT_THROW(load_password_file("/no/such/file.txt", Alphabet::compact()),
+               std::runtime_error);
+}
+
+TEST(Loader, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "pf_loader_test.txt";
+  {
+    std::ofstream out(path);
+    out << "hello1\nworld2\n";
+  }
+  const auto passwords = load_password_file(path, Alphabet::compact());
+  EXPECT_EQ(passwords.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace passflow::data

@@ -1,0 +1,169 @@
+#include "data/synthetic_rockyou.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/alphabet.hpp"
+
+namespace passflow::data {
+namespace {
+
+TEST(SyntheticRockyou, DeterministicForSameSeed) {
+  SyntheticRockyou a({}, 7);
+  SyntheticRockyou b({}, 7);
+  EXPECT_EQ(a.generate(500), b.generate(500));
+}
+
+TEST(SyntheticRockyou, DifferentSeedsDiffer) {
+  SyntheticRockyou a({}, 1);
+  SyntheticRockyou b({}, 2);
+  EXPECT_NE(a.generate(100), b.generate(100));
+}
+
+TEST(SyntheticRockyou, RespectsLengthBounds) {
+  CorpusConfig config;
+  config.max_length = 10;
+  config.min_length = 4;
+  SyntheticRockyou gen(config, 11);
+  for (const auto& p : gen.generate(5000)) {
+    EXPECT_GE(p.size(), 4u) << p;
+    EXPECT_LE(p.size(), 10u) << p;
+  }
+}
+
+TEST(SyntheticRockyou, AllPasswordsInStandardAlphabet) {
+  SyntheticRockyou gen({}, 13);
+  const Alphabet& alphabet = Alphabet::standard();
+  for (const auto& p : gen.generate(5000)) {
+    EXPECT_TRUE(alphabet.validates(p)) << p;
+  }
+}
+
+TEST(SyntheticRockyou, HeadIsHeavyLikeRealLeaks) {
+  SyntheticRockyou gen({}, 17);
+  const auto corpus = gen.generate(50000);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& p : corpus) ++counts[p];
+  // The most frequent password should dominate the mean frequency
+  // massively, as "123456" does in RockYou.
+  int max_count = 0;
+  for (const auto& [_, c] : counts) max_count = std::max(max_count, c);
+  const double mean_count =
+      static_cast<double>(corpus.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(max_count, 20.0 * mean_count);
+}
+
+TEST(SyntheticRockyou, HasSubstantialUniqueSupport) {
+  SyntheticRockyou gen({}, 19);
+  const auto corpus = gen.generate(50000);
+  std::unordered_set<std::string> unique(corpus.begin(), corpus.end());
+  // Heavy head but long tail: a large fraction of distinct strings.
+  EXPECT_GT(unique.size(), corpus.size() / 10);
+}
+
+TEST(SyntheticRockyou, ContainsClassicPatterns) {
+  SyntheticRockyou gen({}, 23);
+  const auto corpus = gen.generate(100000);
+  std::unordered_set<std::string> unique(corpus.begin(), corpus.end());
+  EXPECT_TRUE(unique.count("123456"));
+  EXPECT_TRUE(unique.count("password") || unique.count("iloveyou") ||
+              unique.count("qwerty"));
+}
+
+TEST(MakeSplit, TrainHasRequestedSize) {
+  SyntheticRockyou gen({}, 29);
+  const auto corpus = gen.generate(20000);
+  util::Rng rng(1);
+  const auto split = make_rockyou_style_split(corpus, 5000, rng);
+  EXPECT_EQ(split.train.size(), 5000u);
+}
+
+TEST(MakeSplit, TrainSizeClampedToPartition) {
+  SyntheticRockyou gen({}, 31);
+  const auto corpus = gen.generate(1000);
+  util::Rng rng(2);
+  const auto split = make_rockyou_style_split(corpus, 100000, rng);
+  EXPECT_EQ(split.train.size(), 800u);  // 80% of 1000
+}
+
+TEST(MakeSplit, TestSetIsUnique) {
+  SyntheticRockyou gen({}, 37);
+  const auto corpus = gen.generate(30000);
+  util::Rng rng(3);
+  const auto split = make_rockyou_style_split(corpus, 5000, rng);
+  std::unordered_set<std::string> seen;
+  for (const auto& p : split.test_unique) {
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate in test set: " << p;
+  }
+}
+
+TEST(MakeSplit, TestSetDisjointFromTrain) {
+  SyntheticRockyou gen({}, 41);
+  const auto corpus = gen.generate(30000);
+  util::Rng rng(4);
+  const auto split = make_rockyou_style_split(corpus, 5000, rng);
+  const std::unordered_set<std::string> train(split.train.begin(),
+                                              split.train.end());
+  for (const auto& p : split.test_unique) {
+    EXPECT_FALSE(train.count(p)) << "leaked into test: " << p;
+  }
+}
+
+TEST(MakeSplit, TestSetNonEmptyOnRealisticCorpus) {
+  SyntheticRockyou gen({}, 43);
+  const auto corpus = gen.generate(30000);
+  util::Rng rng(5);
+  const auto split = make_rockyou_style_split(corpus, 5000, rng);
+  EXPECT_GT(split.test_unique.size(), 500u);
+}
+
+TEST(FocusedCorpus, OutputsCompactAlphabetOnly) {
+  data::SyntheticRockyou gen(focused_corpus_config(8), 51);
+  const Alphabet& compact = Alphabet::compact();
+  for (const auto& p : gen.generate(5000)) {
+    EXPECT_TRUE(compact.validates(p)) << p;
+    EXPECT_LE(p.size(), 8u);
+  }
+}
+
+TEST(FocusedCorpus, SmallerSupportThanDefault) {
+  // The focused preset concentrates the distribution: fewer distinct
+  // strings for the same number of draws.
+  SyntheticRockyou focused(focused_corpus_config(8), 53);
+  CorpusConfig default_config;
+  default_config.max_length = 8;
+  SyntheticRockyou standard(default_config, 53);
+  auto count_unique = [](std::vector<std::string> corpus) {
+    std::unordered_set<std::string> unique(corpus.begin(), corpus.end());
+    return unique.size();
+  };
+  EXPECT_LT(count_unique(focused.generate(30000)),
+            count_unique(standard.generate(30000)));
+}
+
+TEST(FocusedCorpus, StillHeavyTailed) {
+  SyntheticRockyou gen(focused_corpus_config(8), 57);
+  const auto corpus = gen.generate(30000);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& p : corpus) ++counts[p];
+  int max_count = 0;
+  for (const auto& [_, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 100);                // heavy head
+  EXPECT_GT(counts.size(), 2000u);          // long tail
+}
+
+class CorpusSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusSizeTest, GenerateProducesExactCount) {
+  SyntheticRockyou gen({}, 47);
+  EXPECT_EQ(gen.generate(GetParam()).size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CorpusSizeTest,
+                         ::testing::Values(0, 1, 10, 1000, 12345));
+
+}  // namespace
+}  // namespace passflow::data

@@ -1,0 +1,85 @@
+#include "flow/mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace passflow::flow {
+namespace {
+
+TEST(Mask, CharRun1Alternates) {
+  const auto mask = make_mask({MaskScheme::kCharRun, 1}, 6);
+  EXPECT_EQ(mask_to_string(mask), "101010");
+}
+
+TEST(Mask, CharRun2PairsAlternate) {
+  const auto mask = make_mask({MaskScheme::kCharRun, 2}, 8);
+  EXPECT_EQ(mask_to_string(mask), "11001100");
+}
+
+TEST(Mask, CharRunHandlesNonDivisibleLength) {
+  const auto mask = make_mask({MaskScheme::kCharRun, 3}, 7);
+  EXPECT_EQ(mask_to_string(mask), "1110001");
+}
+
+TEST(Mask, HorizontalSplitsInHalf) {
+  const auto mask = make_mask({MaskScheme::kHorizontal, 0}, 10);
+  EXPECT_EQ(mask_to_string(mask), "1111100000");
+}
+
+TEST(Mask, HorizontalOddLengthFavorsSecondHalf) {
+  const auto mask = make_mask({MaskScheme::kHorizontal, 0}, 5);
+  EXPECT_EQ(mask_to_string(mask), "11000");
+}
+
+TEST(Mask, NegateFlipsEveryBit) {
+  const auto mask = make_mask({MaskScheme::kCharRun, 1}, 4);
+  EXPECT_EQ(mask_to_string(negate_mask(mask)), "0101");
+}
+
+TEST(Mask, LayerAlternationMatchesFigure1) {
+  const MaskConfig config{MaskScheme::kCharRun, 1};
+  EXPECT_EQ(mask_to_string(mask_for_layer(config, 4, 0)), "1010");
+  EXPECT_EQ(mask_to_string(mask_for_layer(config, 4, 1)), "0101");
+  EXPECT_EQ(mask_to_string(mask_for_layer(config, 4, 2)), "1010");
+}
+
+TEST(Mask, EveryPositionTransformedAcrossLayerPair) {
+  // Union of transformed positions (mask==0) over two consecutive layers
+  // must cover every coordinate, for every scheme.
+  for (const auto& config :
+       {MaskConfig{MaskScheme::kCharRun, 1}, MaskConfig{MaskScheme::kCharRun, 2},
+        MaskConfig{MaskScheme::kHorizontal, 0}}) {
+    const auto m0 = mask_for_layer(config, 10, 0);
+    const auto m1 = mask_for_layer(config, 10, 1);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_TRUE(m0[i] < 0.5f || m1[i] < 0.5f)
+          << scheme_name(config) << " position " << i;
+    }
+  }
+}
+
+TEST(Mask, ZeroDimThrows) {
+  EXPECT_THROW(make_mask({MaskScheme::kCharRun, 1}, 0), std::invalid_argument);
+}
+
+TEST(Mask, ZeroRunLengthThrows) {
+  EXPECT_THROW(make_mask({MaskScheme::kCharRun, 0}, 4), std::invalid_argument);
+}
+
+TEST(Mask, SchemeNames) {
+  EXPECT_EQ(scheme_name({MaskScheme::kCharRun, 1}), "char-run-1");
+  EXPECT_EQ(scheme_name({MaskScheme::kCharRun, 2}), "char-run-2");
+  EXPECT_EQ(scheme_name({MaskScheme::kHorizontal, 0}), "horizontal");
+}
+
+TEST(Mask, ParseRoundTrip) {
+  for (const std::string name : {"char-run-1", "char-run-2", "horizontal"}) {
+    EXPECT_EQ(scheme_name(parse_mask_config(name)), name);
+  }
+}
+
+TEST(Mask, ParseUnknownThrows) {
+  EXPECT_THROW(parse_mask_config("diagonal"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace passflow::flow

@@ -1,0 +1,104 @@
+#include "flow/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/alphabet.hpp"
+#include "test_support.hpp"
+
+namespace passflow::flow {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  passflow::testing::QuietLogs quiet_;
+  data::Encoder encoder_{data::Alphabet::compact(), 6};
+};
+
+TEST_F(TrainerTest, NllDecreasesOnToyCorpus) {
+  util::Rng rng(1);
+  FlowModel model(passflow::testing::tiny_flow_config(), rng);
+
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 64;
+  config.log_every = 0;
+  config.validation_fraction = 0.0;
+  Trainer trainer(model, config);
+
+  const auto result =
+      trainer.train(passflow::testing::toy_corpus(40), encoder_);
+  ASSERT_EQ(result.history.size(), 8u);
+  // Later epochs should beat the first epoch clearly.
+  EXPECT_LT(result.history.back().train_nll,
+            result.history.front().train_nll - 0.5);
+}
+
+TEST_F(TrainerTest, TrainedModelAssignsHigherDensityToTrainingData) {
+  util::Rng rng(2);
+  FlowModel model(passflow::testing::tiny_flow_config(), rng);
+  TrainConfig config;
+  config.epochs = 10;
+  config.batch_size = 64;
+  config.log_every = 0;
+  Trainer trainer(model, config);
+  trainer.train(passflow::testing::toy_corpus(40), encoder_);
+
+  // Training passwords should be more probable than random garbage strings.
+  const auto train_lp = model.log_prob(encoder_.encode_batch({"123456"}));
+  const auto junk_lp = model.log_prob(encoder_.encode_batch({"zqxjwv"}));
+  EXPECT_GT(train_lp[0], junk_lp[0]);
+}
+
+TEST_F(TrainerTest, EpochCallbackFires) {
+  util::Rng rng(3);
+  FlowModel model(passflow::testing::tiny_flow_config(), rng);
+  TrainConfig config;
+  config.epochs = 3;
+  config.batch_size = 64;
+  config.log_every = 0;
+  Trainer trainer(model, config);
+  std::size_t calls = 0;
+  trainer.train(passflow::testing::toy_corpus(5), encoder_,
+                [&](const EpochStats& stats) {
+                  EXPECT_EQ(stats.epoch, calls);
+                  ++calls;
+                });
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST_F(TrainerTest, BestEpochIsTracked) {
+  util::Rng rng(4);
+  FlowModel model(passflow::testing::tiny_flow_config(), rng);
+  TrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 64;
+  config.log_every = 0;
+  config.validation_fraction = 0.2;
+  Trainer trainer(model, config);
+  const auto result =
+      trainer.train(passflow::testing::toy_corpus(30), encoder_);
+  EXPECT_LT(result.best_epoch, 5u);
+  double min_val = result.history.front().validation_nll;
+  for (const auto& epoch : result.history) {
+    min_val = std::min(min_val, epoch.validation_nll);
+  }
+  EXPECT_DOUBLE_EQ(result.best_validation_nll, min_val);
+}
+
+TEST_F(TrainerTest, ValidationHoldoutShrinksTrainSet) {
+  // With validation_fraction=0.5 over 40 distinct entries, epochs see ~20.
+  util::Rng rng(5);
+  FlowModel model(passflow::testing::tiny_flow_config(), rng);
+  TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 1000;
+  config.log_every = 0;
+  config.validation_fraction = 0.5;
+  Trainer trainer(model, config);
+  const auto result =
+      trainer.train(passflow::testing::toy_corpus(10), encoder_);
+  ASSERT_EQ(result.history.size(), 1u);
+}
+
+}  // namespace
+}  // namespace passflow::flow

@@ -1,0 +1,118 @@
+#include "guessing/conditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/alphabet.hpp"
+#include "test_support.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+class ConditionalTest : public ::testing::Test {
+ protected:
+  ConditionalTest()
+      : rng_(31),
+        encoder_(data::Alphabet::compact(), 6),
+        model_(passflow::testing::tiny_flow_config(), rng_) {
+    for (nn::Param* p : model_.parameters()) {
+      if (p->name.find("s_scale") != std::string::npos) continue;
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        p->value.data()[i] += static_cast<float>(rng_.normal(0.0, 0.1));
+      }
+    }
+  }
+
+  ConditionalConfig fast_config() {
+    ConditionalConfig config;
+    config.rounds = 6;
+    config.batch_size = 128;
+    return config;
+  }
+
+  util::Rng rng_;
+  data::Encoder encoder_;
+  flow::FlowModel model_;
+};
+
+TEST_F(ConditionalTest, CompletionsMatchThePattern) {
+  ConditionalGuesser guesser(model_, encoder_, fast_config());
+  const auto completions = guesser.complete("jim**1", 20);
+  ASSERT_FALSE(completions.empty());
+  for (const auto& guess : completions) {
+    ASSERT_EQ(guess.password.size(), 6u);
+    EXPECT_EQ(guess.password.substr(0, 3), "jim");
+    EXPECT_EQ(guess.password[5], '1');
+  }
+}
+
+TEST_F(ConditionalTest, ResultsAreUniqueAndSorted) {
+  ConditionalGuesser guesser(model_, encoder_, fast_config());
+  const auto completions = guesser.complete("ab****", 50);
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    EXPECT_TRUE(seen.insert(completions[i].password).second);
+    if (i > 0) {
+      EXPECT_LE(completions[i].log_prob, completions[i - 1].log_prob);
+    }
+  }
+}
+
+TEST_F(ConditionalTest, NoWildcardsReturnsThePatternItself) {
+  ConditionalGuesser guesser(model_, encoder_, fast_config());
+  const auto completions = guesser.complete("abc123", 5);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].password, "abc123");
+}
+
+TEST_F(ConditionalTest, CountCapsResults) {
+  ConditionalGuesser guesser(model_, encoder_, fast_config());
+  const auto completions = guesser.complete("a*****", 3);
+  EXPECT_LE(completions.size(), 3u);
+}
+
+TEST_F(ConditionalTest, RejectsBadPatterns) {
+  ConditionalGuesser guesser(model_, encoder_, fast_config());
+  EXPECT_THROW(guesser.complete("", 5), std::invalid_argument);
+  EXPECT_THROW(guesser.complete("waytoolongpattern", 5),
+               std::invalid_argument);
+  EXPECT_THROW(guesser.complete("AB**", 5), std::invalid_argument);
+}
+
+TEST_F(ConditionalTest, AllWildcardPatternYieldsFullLengthPasswords) {
+  ConditionalGuesser guesser(model_, encoder_, fast_config());
+  const auto completions = guesser.complete("******", 10);
+  for (const auto& guess : completions) {
+    EXPECT_EQ(guess.password.size(), 6u);
+  }
+}
+
+TEST_F(ConditionalTest, TrainedModelRanksCorpusLikeCompletionsHigher) {
+  // Train the tiny flow on the toy corpus, then complete "1234**": the
+  // corpus contains "123456", which should appear among the completions.
+  passflow::testing::QuietLogs quiet;
+  flow::TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 64;
+  tc.log_every = 0;
+  flow::Trainer trainer(model_, tc);
+  trainer.train(passflow::testing::toy_corpus(40), encoder_);
+
+  ConditionalConfig config;
+  config.rounds = 40;
+  config.batch_size = 256;
+  ConditionalGuesser guesser(model_, encoder_, config);
+  const auto completions = guesser.complete("1234**", 200);
+  bool found = false;
+  for (const auto& guess : completions) {
+    if (guess.password == "123456") {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace passflow::guessing

@@ -1,0 +1,82 @@
+#include "guessing/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/alphabet.hpp"
+#include "test_support.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+class InterpolationTest : public ::testing::Test {
+ protected:
+  InterpolationTest()
+      : rng_(42),
+        encoder_(data::Alphabet::compact(), 6),
+        model_(passflow::testing::tiny_flow_config(), rng_) {
+    for (nn::Param* p : model_.parameters()) {
+      if (p->name.find("s_scale") != std::string::npos) continue;
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        p->value.data()[i] += static_cast<float>(rng_.normal(0.0, 0.1));
+      }
+    }
+  }
+
+  util::Rng rng_;
+  data::Encoder encoder_;
+  flow::FlowModel model_;
+};
+
+TEST_F(InterpolationTest, ReturnsStepsPlusOneSamples) {
+  const auto path = interpolate(model_, encoder_, "jimmy1", "123456", 8);
+  EXPECT_EQ(path.size(), 9u);
+}
+
+TEST_F(InterpolationTest, EndpointsRoundTripToInputs) {
+  const auto path = interpolate(model_, encoder_, "jimmy1", "123456", 10);
+  EXPECT_EQ(path.front(), "jimmy1");
+  EXPECT_EQ(path.back(), "123456");
+}
+
+TEST_F(InterpolationTest, IdenticalEndpointsGiveConstantPath) {
+  const auto path = interpolate(model_, encoder_, "same12", "same12", 5);
+  for (const auto& p : path) EXPECT_EQ(p, "same12");
+}
+
+TEST_F(InterpolationTest, ZeroStepsThrows) {
+  EXPECT_THROW(interpolate(model_, encoder_, "a1", "b2", 0),
+               std::invalid_argument);
+}
+
+TEST_F(InterpolationTest, LatentOfIsInverseOfInverse) {
+  const auto z = latent_of(model_, encoder_, "abc123");
+  nn::Matrix zm(1, 6);
+  std::copy(z.begin(), z.end(), zm.row(0));
+  const auto decoded = encoder_.decode_batch(model_.inverse(zm));
+  EXPECT_EQ(decoded[0], "abc123");
+}
+
+TEST_F(InterpolationTest, PathDecodesToValidStrings) {
+  const auto path = interpolate(model_, encoder_, "qwerty", "dragon", 20);
+  for (const auto& p : path) {
+    EXPECT_LE(p.size(), 6u);
+    EXPECT_TRUE(encoder_.alphabet().validates(p)) << p;
+  }
+}
+
+class InterpolationStepsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InterpolationStepsTest, AnyStepCountProducesFullPath) {
+  util::Rng rng(1);
+  data::Encoder encoder(data::Alphabet::compact(), 6);
+  flow::FlowModel model(passflow::testing::tiny_flow_config(), rng);
+  const auto path =
+      interpolate(model, encoder, "star99", "love11", GetParam());
+  EXPECT_EQ(path.size(), GetParam() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, InterpolationStepsTest,
+                         ::testing::Values(1, 2, 5, 10, 32));
+
+}  // namespace
+}  // namespace passflow::guessing

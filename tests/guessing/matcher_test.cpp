@@ -1,0 +1,56 @@
+#include "guessing/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "guessing/metrics.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+TEST(Matcher, ContainsExactMatchesOnly) {
+  Matcher matcher({"alpha", "beta"});
+  EXPECT_TRUE(matcher.contains("alpha"));
+  EXPECT_TRUE(matcher.contains("beta"));
+  EXPECT_FALSE(matcher.contains("Alpha"));
+  EXPECT_FALSE(matcher.contains("alph"));
+  EXPECT_FALSE(matcher.contains(""));
+}
+
+TEST(Matcher, SizeDeduplicates) {
+  Matcher matcher({"x", "x", "y"});
+  EXPECT_EQ(matcher.test_set_size(), 2u);
+}
+
+TEST(Matcher, EmptyTestSet) {
+  Matcher matcher({});
+  EXPECT_EQ(matcher.test_set_size(), 0u);
+  EXPECT_FALSE(matcher.contains("anything"));
+}
+
+TEST(Checkpoints, PowersOfTenUpToBudget) {
+  const auto points = power_of_ten_checkpoints(100000);
+  EXPECT_EQ(points, (std::vector<std::size_t>{10, 100, 1000, 10000, 100000}));
+}
+
+TEST(Checkpoints, NonPowerBudgetAppended) {
+  const auto points = power_of_ten_checkpoints(2500);
+  EXPECT_EQ(points, (std::vector<std::size_t>{10, 100, 1000, 2500}));
+}
+
+TEST(Checkpoints, TinyBudget) {
+  const auto points = power_of_ten_checkpoints(5);
+  EXPECT_EQ(points, (std::vector<std::size_t>{5}));
+}
+
+TEST(RunResult, AtFindsCheckpoint) {
+  RunResult result;
+  Checkpoint cp;
+  cp.guesses = 100;
+  cp.matched = 7;
+  result.checkpoints.push_back(cp);
+  EXPECT_EQ(result.at(100).matched, 7u);
+  EXPECT_THROW(result.at(999), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace passflow::guessing

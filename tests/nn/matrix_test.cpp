@@ -1,0 +1,109 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace passflow::nn {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructorFills) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m(r, c), 1.5f);
+  }
+}
+
+TEST(Matrix, ElementAccessIsRowMajor) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_FLOAT_EQ(m.data()[0], 1);
+  EXPECT_FLOAT_EQ(m.data()[1], 2);
+  EXPECT_FLOAT_EQ(m.data()[2], 3);
+  EXPECT_FLOAT_EQ(m.data()[3], 4);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, SliceRows) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s(0, 0), 3);
+  EXPECT_FLOAT_EQ(s(1, 1), 6);
+}
+
+TEST(Matrix, SliceRowsRejectsBadRange) {
+  const Matrix m(3, 2);
+  EXPECT_THROW(m.slice_rows(2, 4), std::out_of_range);
+  EXPECT_THROW(m.slice_rows(2, 1), std::out_of_range);
+}
+
+TEST(Matrix, SetRows) {
+  Matrix m(3, 2);
+  const Matrix src = Matrix::from_rows({{7, 8}});
+  m.set_rows(1, src);
+  EXPECT_FLOAT_EQ(m(1, 0), 7);
+  EXPECT_FLOAT_EQ(m(1, 1), 8);
+  EXPECT_FLOAT_EQ(m(0, 0), 0);
+}
+
+TEST(Matrix, SetRowsRejectsOverflow) {
+  Matrix m(2, 2);
+  const Matrix src(2, 2);
+  EXPECT_THROW(m.set_rows(1, src), std::out_of_range);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t(2, 1), 6);
+  EXPECT_FLOAT_EQ(t(0, 1), 4);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m = Matrix::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, FillAndZero) {
+  Matrix m(2, 2, 9.0f);
+  m.zero();
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 0.0);
+  m.fill(2.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 2.0f);
+}
+
+TEST(Matrix, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).same_shape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).same_shape(Matrix(3, 2)));
+}
+
+TEST(Matrix, ShapeString) {
+  EXPECT_EQ(Matrix(4, 7).shape_string(), "[4x7]");
+}
+
+}  // namespace
+}  // namespace passflow::nn

@@ -1,0 +1,132 @@
+#include "nn/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace passflow::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal());
+  }
+  return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a(r, k)) * b(k, c);
+      }
+      out(r, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void expect_close(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b)) << a.shape_string() << " vs "
+                               << b.shape_string();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Ops, MatmulKnownValues) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19);
+  EXPECT_FLOAT_EQ(c(0, 1), 22);
+  EXPECT_FLOAT_EQ(c(1, 0), 43);
+  EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+// Property sweep: blocked/OpenMP GEMM variants agree with the naive
+// reference across shapes including ones that cross the parallel threshold.
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatmulMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(100 + m * 7 + k * 3 + n);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  expect_close(matmul(a, b), naive_matmul(a, b));
+}
+
+TEST_P(GemmShapeTest, MatmulTnMatchesTransposedNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(200 + m * 7 + k * 3 + n);
+  const Matrix a = random_matrix(k, m, rng);  // (k x m), used as a^T
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix out;
+  matmul_tn(a, b, out);
+  expect_close(out, naive_matmul(a.transposed(), b));
+}
+
+TEST_P(GemmShapeTest, MatmulNtMatchesTransposedNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(300 + m * 7 + k * 3 + n);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);  // (n x k), used as b^T
+  Matrix out;
+  matmul_nt(a, b, out);
+  expect_close(out, naive_matmul(a, b.transposed()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 65, 17),
+                      std::make_tuple(128, 64, 96),
+                      std::make_tuple(1, 256, 1)));
+
+TEST(Ops, AddSubHadamardScaleAxpy) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{10, 20}, {30, 40}});
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a(1, 1), 44);
+  sub_inplace(a, b);
+  EXPECT_FLOAT_EQ(a(1, 1), 4);
+  hadamard_inplace(a, b);
+  EXPECT_FLOAT_EQ(a(0, 1), 40);
+  scale_inplace(a, 0.5f);
+  EXPECT_FLOAT_EQ(a(0, 1), 20);
+  axpy_inplace(a, 2.0f, b);
+  EXPECT_FLOAT_EQ(a(0, 0), 25);  // 5 + 2*10
+}
+
+TEST(Ops, AddRowVector) {
+  Matrix a(2, 3, 1.0f);
+  const Matrix row = Matrix::from_rows({{1, 2, 3}});
+  add_row_vector(a, row);
+  EXPECT_FLOAT_EQ(a(0, 0), 2);
+  EXPECT_FLOAT_EQ(a(1, 2), 4);
+}
+
+TEST(Ops, ColumnSum) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix out;
+  column_sum(a, out);
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_FLOAT_EQ(out(0, 0), 9);
+  EXPECT_FLOAT_EQ(out(0, 1), 12);
+}
+
+TEST(Ops, SumAndSquaredSum) {
+  const Matrix a = Matrix::from_rows({{1, -2}, {3, -4}});
+  EXPECT_DOUBLE_EQ(sum(a), -2.0);
+  EXPECT_DOUBLE_EQ(squared_sum(a), 30.0);
+}
+
+}  // namespace
+}  // namespace passflow::nn

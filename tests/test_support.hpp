@@ -1,0 +1,50 @@
+// Shared fixtures for the PassFlow test suite: small flows that train in
+// milliseconds and a deterministic toy corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/encoder.hpp"
+#include "flow/flow_model.hpp"
+#include "flow/trainer.hpp"
+#include "util/logging.hpp"
+
+namespace passflow::testing {
+
+// A tiny flow (few couplings, narrow nets) over the compact alphabet.
+inline flow::FlowConfig tiny_flow_config(std::size_t dim = 6) {
+  flow::FlowConfig config;
+  config.dim = dim;
+  config.num_couplings = 4;
+  config.hidden = 32;
+  config.residual_blocks = 1;
+  return config;
+}
+
+// Deterministic toy corpus: structured passwords over [a-z0-9].
+inline std::vector<std::string> toy_corpus(std::size_t copies = 30) {
+  const std::vector<std::string> base = {
+      "123456", "abc123", "pass12", "love11", "qwerty", "dragon",
+      "sunny1", "happy2", "star99", "blue42", "cat123", "dog456",
+  };
+  std::vector<std::string> corpus;
+  for (std::size_t i = 0; i < copies; ++i) {
+    corpus.insert(corpus.end(), base.begin(), base.end());
+  }
+  return corpus;
+}
+
+// Silences INFO logs for quieter test output; restores on destruction.
+class QuietLogs {
+ public:
+  QuietLogs() : previous_(util::log_level()) {
+    util::set_log_level(util::LogLevel::kWarn);
+  }
+  ~QuietLogs() { util::set_log_level(previous_); }
+
+ private:
+  util::LogLevel previous_;
+};
+
+}  // namespace passflow::testing

@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace passflow::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "pf_csv_test.csv";
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.write_row({"1", "2"});
+    csv.write_row({"3", "4"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\n3,4\n");
+}
+
+TEST_F(CsvWriterTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter csv(path_, {"x"});
+    csv.write_row({"a,b"});
+    csv.write_row({"say \"hi\""});
+  }
+  EXPECT_EQ(read_file(path_), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvWriterTest, RejectsWrongWidth) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(WithThousands, FormatsGroups) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-9876543), "-9,876,543");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace passflow::util

@@ -1,0 +1,73 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace passflow::util {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesEqualsForm) {
+  auto flags = make_flags({"--guesses=1000", "--sigma=0.12"});
+  EXPECT_EQ(flags.get_int("guesses", 0), 1000);
+  EXPECT_DOUBLE_EQ(flags.get_double("sigma", 0.0), 0.12);
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  auto flags = make_flags({"--name", "passflow"});
+  EXPECT_EQ(flags.get_string("name", ""), "passflow");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  auto flags = make_flags({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  auto flags = make_flags({});
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_EQ(flags.get_string("missing", "d"), "d");
+  EXPECT_FALSE(flags.get_bool("missing", false));
+}
+
+TEST(Flags, BooleanParsingVariants) {
+  auto flags = make_flags({"--a=true", "--b=0", "--c=yes", "--d=no"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(Flags, BadBooleanThrows) {
+  auto flags = make_flags({"--a=maybe"});
+  EXPECT_THROW(flags.get_bool("a", false), std::invalid_argument);
+}
+
+TEST(Flags, PositionalArgumentThrows) {
+  EXPECT_THROW(make_flags({"positional"}), std::invalid_argument);
+}
+
+TEST(Flags, UnusedReportsUnqueriedFlags) {
+  auto flags = make_flags({"--used=1", "--typo=2"});
+  flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, HasDetectsPresence) {
+  auto flags = make_flags({"--x=1"});
+  EXPECT_TRUE(flags.has("x"));
+  EXPECT_FALSE(flags.has("y"));
+}
+
+}  // namespace
+}  // namespace passflow::util

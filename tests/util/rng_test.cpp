@@ -1,0 +1,204 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace passflow::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsBijective) {
+  Rng rng(31);
+  const auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (const auto i : perm) {
+    ASSERT_LT(i, 100u);
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(41);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, FillNormalFillsEveryEntry) {
+  Rng rng(43);
+  std::vector<float> out(1000, -999.0f);
+  rng.fill_normal(out, 2.0, 0.1);
+  double sum = 0.0;
+  for (float v : out) sum += v;
+  EXPECT_NEAR(sum / 1000.0, 2.0, 0.05);
+}
+
+TEST(SampleDiscrete, RespectsWeights) {
+  Rng rng(47);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[sample_discrete(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 40000.0, 0.75, 0.02);
+}
+
+TEST(SampleDiscrete, ThrowsOnAllZero) {
+  Rng rng(53);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(sample_discrete(rng, weights), std::invalid_argument);
+}
+
+TEST(SampleDiscrete, ThrowsOnNegative) {
+  Rng rng(53);
+  std::vector<double> weights = {1.0, -1.0};
+  EXPECT_THROW(sample_discrete(rng, weights), std::invalid_argument);
+}
+
+TEST(ZipfSampler, HeadIsHeavierThanTail) {
+  Rng rng(59);
+  ZipfSampler zipf(100, 1.1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 3);
+  EXPECT_GT(counts[0], counts[99] * 3);
+}
+
+TEST(ZipfSampler, CoversSupportAndStaysInRange) {
+  Rng rng(61);
+  ZipfSampler zipf(10, 1.0);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = zipf.sample(rng);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(ZipfSampler, ThrowsOnEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, RankFrequencyIsMonotoneNonIncreasingInExpectation) {
+  Rng rng(67);
+  ZipfSampler zipf(20, GetParam());
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.sample(rng)];
+  // Compare coarse buckets to tolerate sampling noise.
+  const int head = counts[0] + counts[1] + counts[2];
+  const int mid = counts[8] + counts[9] + counts[10];
+  const int tail = counts[17] + counts[18] + counts[19];
+  EXPECT_GE(head, mid);
+  EXPECT_GE(mid, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.3, 2.0));
+
+}  // namespace
+}  // namespace passflow::util

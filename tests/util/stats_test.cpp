@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace passflow::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MeanThrowsOnEmpty) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(variance({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, VarianceOfKnownValues) {
+  // Population variance of {1,2,3,4} = 1.25.
+  EXPECT_DOUBLE_EQ(variance({1.0, 2.0, 3.0, 4.0}), 1.25);
+}
+
+TEST(Stats, StddevIsSqrtOfVariance) {
+  EXPECT_DOUBLE_EQ(stddev({1.0, 2.0, 3.0, 4.0}), std::sqrt(1.25));
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianSingleElement) {
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateInputIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  const std::vector<double> values = {1.0, 4.0, -2.0, 8.0, 3.5};
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  EXPECT_EQ(rs.count(), values.size());
+  EXPECT_NEAR(rs.mean(), mean(values), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace passflow::util

@@ -1,0 +1,70 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace passflow::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, HandlesZeroItems) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ChunksCoverRangeWithoutOverlap) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_chunks(257, [&](std::size_t, std::size_t begin,
+                                std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace passflow::util
