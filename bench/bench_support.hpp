@@ -209,6 +209,10 @@ inline guessing::RunResult run_schedule(guessing::GuessGenerator& generator,
   guessing::HarnessConfig config;
   config.budget = scale.budgets.back();
   config.checkpoints = scale.budgets;
+  // Parallel matching plus pipelined generation (a no-op for feedback
+  // generators); metrics stay identical to a serial run.
+  config.pool = &util::shared_pool();
+  config.overlap_generation = true;
   util::Timer timer;
   auto result = run_guessing(generator, matcher, config);
   PF_LOG_INFO << generator.name() << ": " << result.final().matched

@@ -5,8 +5,11 @@
 
 #include "data/encoder.hpp"
 #include "flow/flow_model.hpp"
+#include "guessing/harness.hpp"
+#include "guessing/matcher.hpp"
 #include "guessing/static_sampler.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -108,6 +111,81 @@ void BM_StaticGuessThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
 }
 BENCHMARK(BM_StaticGuessThroughput);
+
+// ---- multi-core guessing hot path ----------------------------------------
+// The *Parallel variants run the same work through util::shared_pool();
+// comparing them against the serial benchmarks above gives the wall-clock
+// speedup of the batched inverse+decode path (output is bitwise identical).
+
+void BM_FlowInverseParallel(benchmark::State& state) {
+  pf::util::Rng rng(3);
+  pf::flow::FlowModel model(
+      config_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))),
+      rng);
+  const pf::nn::Matrix z = random_batch(
+      static_cast<std::size_t>(state.range(2)), 10, 4);
+  pf::util::ThreadPool& pool = pf::util::shared_pool();
+  for (auto _ : state) {
+    const auto x = model.inverse(z, &pool);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(2));
+}
+BENCHMARK(BM_FlowInverseParallel)->Args({8, 96, 2048})->Args({18, 256, 2048});
+
+void BM_StaticGuessThroughputParallel(benchmark::State& state) {
+  pf::util::Rng rng(8);
+  pf::flow::FlowModel model(config_for(8, 96), rng);
+  pf::data::Encoder encoder(pf::data::Alphabet::standard(), 10);
+  pf::guessing::StaticSamplerConfig config;
+  config.pool = &pf::util::shared_pool();
+  pf::guessing::StaticSampler sampler(model, encoder, config);
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    out.clear();
+    sampler.generate(4096, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_StaticGuessThroughputParallel);
+
+// End-to-end harness run (generate -> match at 32k budget); range(0)
+// selects the serial loop (0) or pool matching + pipelined generation (1).
+void BM_GuessingHarness(benchmark::State& state) {
+  pf::util::Rng rng(9);
+  pf::flow::FlowModel model(config_for(8, 96), rng);
+  pf::data::Encoder encoder(pf::data::Alphabet::standard(), 10);
+  const bool parallel = state.range(0) != 0;
+
+  // Target set drawn from the sampler itself so matches actually occur.
+  pf::guessing::StaticSamplerConfig warmup_config;
+  warmup_config.seed = 77;
+  pf::guessing::StaticSampler warmup(model, encoder, warmup_config);
+  std::vector<std::string> targets;
+  warmup.generate(4096, targets);
+  pf::guessing::Matcher matcher(targets);
+
+  for (auto _ : state) {
+    pf::guessing::StaticSamplerConfig config;
+    config.seed = 42;
+    if (parallel) config.pool = &pf::util::shared_pool();
+    pf::guessing::StaticSampler sampler(model, encoder, config);
+    pf::guessing::HarnessConfig harness;
+    harness.budget = 32768;
+    harness.chunk_size = 8192;
+    if (parallel) {
+      harness.pool = &pf::util::shared_pool();
+      harness.overlap_generation = true;
+    }
+    const auto result = run_guessing(sampler, matcher, harness);
+    benchmark::DoNotOptimize(result.checkpoints.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32768);
+}
+BENCHMARK(BM_GuessingHarness)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

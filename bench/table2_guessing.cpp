@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
   {
     pf::guessing::StaticSamplerConfig config;
     config.seed = scale.seed + 13;
+    config.pool = &pf::util::shared_pool();
     pf::guessing::StaticSampler sampler(*model, env.encoder, config);
     rows.push_back(row_from("PassFlow-Static",
                             run_schedule(sampler, matcher, scale), scale));
@@ -84,6 +85,7 @@ int main(int argc, char** argv) {
   {
     auto config = pf::guessing::table1_parameters(scale.budgets.back());
     config.seed = scale.seed + 14;
+    config.pool = &pf::util::shared_pool();
     pf::guessing::DynamicSampler sampler(*model, env.encoder, config);
     rows.push_back(row_from("PassFlow-Dynamic",
                             run_schedule(sampler, matcher, scale), scale));
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
   {
     auto config = pf::guessing::table1_parameters(scale.budgets.back());
     config.seed = scale.seed + 15;
+    config.pool = &pf::util::shared_pool();
     config.smoothing.enabled = true;
     pf::guessing::DynamicSampler sampler(*model, env.encoder, config);
     rows.push_back(row_from("PassFlow-Dynamic+GS",

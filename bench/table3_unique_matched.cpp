@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   {
     pf::guessing::StaticSamplerConfig config;
     config.seed = scale.seed + 21;
+    config.pool = &pf::util::shared_pool();
     pf::guessing::StaticSampler sampler(*model, env.encoder, config);
     methods.push_back(
         {"PassFlow-Static", run_schedule(sampler, matcher, scale)});
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   {
     auto config = pf::guessing::table1_parameters(scale.budgets.back());
     config.seed = scale.seed + 22;
+    config.pool = &pf::util::shared_pool();
     pf::guessing::DynamicSampler sampler(*model, env.encoder, config);
     methods.push_back(
         {"PassFlow-Dynamic", run_schedule(sampler, matcher, scale)});
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   {
     auto config = pf::guessing::table1_parameters(scale.budgets.back());
     config.seed = scale.seed + 23;
+    config.pool = &pf::util::shared_pool();
     config.smoothing.enabled = true;
     pf::guessing::DynamicSampler sampler(*model, env.encoder, config);
     methods.push_back(

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace passflow::data {
 
 Encoder::Encoder(const Alphabet& alphabet, std::size_t max_length)
@@ -91,6 +93,18 @@ std::vector<std::string> Encoder::decode_batch(
   for (std::size_t r = 0; r < features.rows(); ++r) {
     out.push_back(decode(features.row(r), features.cols()));
   }
+  return out;
+}
+
+std::vector<std::string> Encoder::decode_batch(const nn::Matrix& features,
+                                               util::ThreadPool* pool) const {
+  if (pool == nullptr || pool->size() <= 1 || features.rows() < 256) {
+    return decode_batch(features);
+  }
+  std::vector<std::string> out(features.rows());
+  pool->parallel_for(features.rows(), [&](std::size_t r) {
+    out[r] = decode(features.row(r), features.cols());
+  });
   return out;
 }
 

@@ -16,6 +16,10 @@
 #include "nn/matrix.hpp"
 #include "util/rng.hpp"
 
+namespace passflow::util {
+class ThreadPool;
+}
+
 namespace passflow::data {
 
 class Encoder {
@@ -42,6 +46,10 @@ class Encoder {
   nn::Matrix encode_batch_dequantized(const std::vector<std::string>& passwords,
                                       util::Rng& rng) const;
   std::vector<std::string> decode_batch(const nn::Matrix& features) const;
+  // Row-parallel decode across pool workers; row order (and therefore the
+  // result) is identical to the serial overload. Null pool = serial.
+  std::vector<std::string> decode_batch(const nn::Matrix& features,
+                                        util::ThreadPool* pool) const;
 
   // Width of one code bin in normalized space, 1/|alphabet|. The data-space
   // Gaussian Smoothing sigma is expressed in multiples of this.

@@ -1,14 +1,24 @@
 #include "flow/flow_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace passflow::flow {
 
 namespace {
 constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+
+// Below this many rows per worker, chunking costs more than it saves.
+constexpr std::size_t kMinRowsPerWorker = 16;
+
+bool worth_chunking(const util::ThreadPool* pool, std::size_t rows) {
+  return pool != nullptr && pool->size() > 1 &&
+         rows >= 2 * kMinRowsPerWorker;
+}
 }
 
 double standard_normal_log_density(const float* z, std::size_t dim) {
@@ -53,6 +63,37 @@ nn::Matrix FlowModel::inverse(const nn::Matrix& z) const {
     h = (*it)->inverse(h);
   }
   return h;
+}
+
+nn::Matrix FlowModel::forward_inference(const nn::Matrix& x,
+                                        std::vector<double>* log_det,
+                                        util::ThreadPool* pool) const {
+  if (!worth_chunking(pool, x.rows())) return forward_inference(x, log_det);
+  if (log_det) log_det->assign(x.rows(), 0.0);
+  nn::Matrix z(x.rows(), x.cols());
+  pool->parallel_chunks(
+      x.rows(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<double> chunk_log_det;
+        const nn::Matrix chunk = forward_inference(
+            x.slice_rows(begin, end), log_det ? &chunk_log_det : nullptr);
+        z.set_rows(begin, chunk);
+        if (log_det) {
+          std::copy(chunk_log_det.begin(), chunk_log_det.end(),
+                    log_det->begin() + static_cast<std::ptrdiff_t>(begin));
+        }
+      });
+  return z;
+}
+
+nn::Matrix FlowModel::inverse(const nn::Matrix& z,
+                              util::ThreadPool* pool) const {
+  if (!worth_chunking(pool, z.rows())) return inverse(z);
+  nn::Matrix x(z.rows(), z.cols());
+  pool->parallel_chunks(
+      z.rows(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        x.set_rows(begin, inverse(z.slice_rows(begin, end)));
+      });
+  return x;
 }
 
 std::vector<double> FlowModel::log_prob(const nn::Matrix& x) const {

@@ -9,6 +9,10 @@
 #include "flow/coupling.hpp"
 #include "nn/adam.hpp"
 
+namespace passflow::util {
+class ThreadPool;
+}
+
 namespace passflow::flow {
 
 struct FlowConfig {
@@ -33,6 +37,16 @@ class FlowModel {
                                std::vector<double>* log_det = nullptr) const;
   // Exact inverse z -> x.
   nn::Matrix inverse(const nn::Matrix& z) const;
+
+  // Batched-parallel inference: rows are split into contiguous chunks, one
+  // per pool worker, and each chunk runs the serial path. Both the forward
+  // and inverse maps are row-independent, so results are bitwise identical
+  // to the serial overloads. Inference state is const (no caches), making
+  // concurrent calls on one model safe; a null/singleton pool or a small
+  // batch falls back to the serial path.
+  nn::Matrix forward_inference(const nn::Matrix& x, std::vector<double>* log_det,
+                               util::ThreadPool* pool) const;
+  nn::Matrix inverse(const nn::Matrix& z, util::ThreadPool* pool) const;
 
   // Exact log p(x) per sample (Eq. 5 with standard-normal prior).
   std::vector<double> log_prob(const nn::Matrix& x) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace passflow::guessing {
@@ -132,14 +133,14 @@ void DynamicSampler::generate(std::size_t n, std::vector<std::string>& out) {
 
     last_batch_latents_.set_rows(produced, z);
 
-    nn::Matrix x = model_->inverse(z);
+    nn::Matrix x = model_->inverse(z, config_.pool);
     if (config_.smoothing.enabled) {
       apply_gaussian_smoothing(x, config_.smoothing.sigma_bins,
                                encoder_->bin_width(), rng_);
     }
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      out.push_back(encoder_->decode(x.row(r), x.cols()));
-    }
+    auto decoded = encoder_->decode_batch(x, config_.pool);
+    out.insert(out.end(), std::make_move_iterator(decoded.begin()),
+               std::make_move_iterator(decoded.end()));
     produced += count;
   }
 }

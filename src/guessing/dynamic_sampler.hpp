@@ -23,6 +23,7 @@
 #include "flow/flow_model.hpp"
 #include "guessing/gaussian_smoothing.hpp"
 #include "guessing/generator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace passflow::guessing {
 
@@ -49,6 +50,10 @@ struct DynamicSamplerConfig {
   bool use_phi = true;        // false reproduces Fig. 5's "without phi"
   PhiKind phi_kind = PhiKind::kStep;
   std::uint64_t seed = 13;
+  // Non-owning worker pool for the inverse + decode hot path. Mixture
+  // sampling and smoothing stay on the calling thread so output is bitwise
+  // identical with or without a pool. Null = fully serial.
+  util::ThreadPool* pool = nullptr;
 };
 
 // The alpha/sigma/gamma schedule of Table I for a given guess budget.
@@ -62,6 +67,9 @@ class DynamicSampler : public GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   void on_match(std::size_t index_in_batch,
                 const std::string& password) override;
+  // Algorithm 1 conditions the prior on matches, so the harness must not
+  // overlap generation with matching for this sampler.
+  bool uses_match_feedback() const override { return true; }
   std::string name() const override;
 
   // Introspection for tests and the Fig. 5 bench.

@@ -26,6 +26,12 @@ class GuessGenerator {
     (void)password;
   }
 
+  // Whether this generator's future output depends on on_match() feedback.
+  // Generators that override on_match() to mutate state MUST return true:
+  // the harness only pipelines generation ahead of matching — during which
+  // on_match() is never invoked — for generators that return false.
+  virtual bool uses_match_feedback() const { return false; }
+
   // Human-readable name used in tables.
   virtual std::string name() const = 0;
 };

@@ -6,6 +6,7 @@
 #include "guessing/generator.hpp"
 #include "guessing/matcher.hpp"
 #include "guessing/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace passflow::guessing {
 
@@ -16,12 +17,26 @@ struct HarnessConfig {
   std::size_t non_matched_samples = 40;  // reservoir for Table IV
   bool track_unique = true;           // disable to save memory on huge runs
   bool log_progress = false;
+  // Non-owning worker pool. When set, matcher.contains() for a chunk is
+  // precomputed across workers before the (order-sensitive) bookkeeping
+  // runs serially, so every metric is identical to a serial run.
+  util::ThreadPool* pool = nullptr;
+  // Producer/consumer mode: generate chunk k+1 on a background thread
+  // while chunk k is being matched. Only engages for generators whose
+  // uses_match_feedback() is false (for others, matching chunk k must
+  // complete — including on_match callbacks — before chunk k+1 may be
+  // generated, so the harness silently stays sequential). Because the
+  // chunk schedule and the generate() call order are unchanged, metrics
+  // are bitwise identical to a serial run.
+  bool overlap_generation = false;
 };
 
 // Runs the full loop: generate -> match -> feed matches back -> checkpoint.
 // A "match" is counted once per distinct test-set password (re-guessing an
 // already matched password does not count again), mirroring |P| in
-// Algorithm 1.
+// Algorithm 1. Note: when overlap_generation engages, on_match() is not
+// invoked at all — the generator has declared it ignores feedback, and the
+// calls would otherwise race with the background generate().
 RunResult run_guessing(GuessGenerator& generator, const Matcher& matcher,
                        HarnessConfig config);
 

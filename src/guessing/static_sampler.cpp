@@ -1,6 +1,7 @@
 #include "guessing/static_sampler.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace passflow::guessing {
 
@@ -18,14 +19,14 @@ void StaticSampler::generate(std::size_t n, std::vector<std::string>& out) {
     for (std::size_t i = 0; i < z.size(); ++i) {
       z.data()[i] = static_cast<float>(rng_.normal(0.0, config_.sigma));
     }
-    nn::Matrix x = model_->inverse(z);
+    nn::Matrix x = model_->inverse(z, config_.pool);
     if (config_.smoothing.enabled) {
       apply_gaussian_smoothing(x, config_.smoothing.sigma_bins,
                                encoder_->bin_width(), rng_);
     }
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      out.push_back(encoder_->decode(x.row(r), x.cols()));
-    }
+    auto decoded = encoder_->decode_batch(x, config_.pool);
+    out.insert(out.end(), std::make_move_iterator(decoded.begin()),
+               std::make_move_iterator(decoded.end()));
     produced += count;
   }
 }

@@ -6,6 +6,7 @@
 #include "flow/flow_model.hpp"
 #include "guessing/gaussian_smoothing.hpp"
 #include "guessing/generator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace passflow::guessing {
 
@@ -14,6 +15,10 @@ struct StaticSamplerConfig {
   std::size_t batch_size = 2048;
   GaussianSmoothingConfig smoothing;
   std::uint64_t seed = 11;
+  // Non-owning worker pool for the inverse + decode hot path. Latent
+  // draws and smoothing stay on the calling thread so output is bitwise
+  // identical with or without a pool. Null = fully serial.
+  util::ThreadPool* pool = nullptr;
 };
 
 class StaticSampler : public GuessGenerator {

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <exception>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace passflow::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -34,6 +38,13 @@ void ThreadPool::enqueue(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+#ifdef _OPENMP
+  // Work dispatched onto the pool is already parallel across workers; keep
+  // the OpenMP GEMM path serial *inside* each worker so a pool of N threads
+  // does not fan out into N x omp_num_threads threads. The main thread's
+  // OpenMP behavior is untouched (the nthreads ICV is per-thread).
+  omp_set_num_threads(1);
+#endif
   for (;;) {
     std::function<void()> task;
     {
@@ -87,6 +98,11 @@ void ThreadPool::parallel_for(std::size_t count,
   parallel_chunks(count, [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
   });
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
 }
 
 }  // namespace passflow::util

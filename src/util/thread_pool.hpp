@@ -49,4 +49,10 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Lazily constructed process-wide pool sized to hardware_concurrency.
+// Samplers, the guessing harness and the benches share it so one process
+// never runs more worker threads than cores. Callers that want an isolated
+// pool (tests, nested schedulers) construct their own.
+ThreadPool& shared_pool();
+
 }  // namespace passflow::util

@@ -1,0 +1,142 @@
+// Thread-safety regression tests for FlowModel's inference paths.
+//
+// forward_inference / inverse / log_prob are const and cache-free, so many
+// ThreadPool workers may share one model. These tests pin that contract:
+// concurrent calls must produce exactly the results of serial calls, and
+// the pool-chunked overloads must be bitwise identical to the serial ones.
+// They run under the `thread_safety` CTest label so a TSan configuration
+// can execute precisely this slice (`ctest -L thread_safety`).
+#include "flow/flow_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace passflow::flow {
+namespace {
+
+nn::Matrix normal_batch(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return m;
+}
+
+void expect_bitwise_equal(const nn::Matrix& a, const nn::Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "at flat index " << i;
+  }
+}
+
+TEST(FlowThreadSafety, ConcurrentInverseMatchesSerial) {
+  const auto& env = passflow::testing::tiny_trained_flow();
+  constexpr std::size_t kTasks = 24;
+
+  std::vector<nn::Matrix> inputs;
+  std::vector<nn::Matrix> expected(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    inputs.push_back(normal_batch(48, env.model.dim(), 100 + i));
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expected[i] = env.model.inverse(inputs[i]);
+  }
+
+  std::vector<nn::Matrix> actual(kTasks);
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    actual[i] = env.model.inverse(inputs[i]);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expect_bitwise_equal(expected[i], actual[i]);
+  }
+}
+
+TEST(FlowThreadSafety, ConcurrentForwardInferenceMatchesSerial) {
+  const auto& env = passflow::testing::tiny_trained_flow();
+  constexpr std::size_t kTasks = 24;
+
+  std::vector<nn::Matrix> inputs;
+  std::vector<nn::Matrix> expected(kTasks);
+  std::vector<std::vector<double>> expected_log_det(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    inputs.push_back(normal_batch(48, env.model.dim(), 500 + i));
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expected[i] = env.model.forward_inference(inputs[i], &expected_log_det[i]);
+  }
+
+  std::vector<nn::Matrix> actual(kTasks);
+  std::vector<std::vector<double>> actual_log_det(kTasks);
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    actual[i] = env.model.forward_inference(inputs[i], &actual_log_det[i]);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expect_bitwise_equal(expected[i], actual[i]);
+    ASSERT_EQ(expected_log_det[i], actual_log_det[i]);
+  }
+}
+
+TEST(FlowThreadSafety, MixedInverseAndForwardOnOneModel) {
+  // Workers hammer both directions of the same model simultaneously; each
+  // task must still reproduce its serial golden exactly.
+  const auto& env = passflow::testing::tiny_trained_flow();
+  constexpr std::size_t kTasks = 32;
+
+  std::vector<nn::Matrix> inputs;
+  std::vector<nn::Matrix> expected(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    inputs.push_back(normal_batch(32, env.model.dim(), 900 + i));
+    expected[i] = (i % 2 == 0) ? env.model.inverse(inputs[i])
+                               : env.model.forward_inference(inputs[i]);
+  }
+
+  std::vector<nn::Matrix> actual(kTasks);
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    actual[i] = (i % 2 == 0) ? env.model.inverse(inputs[i])
+                             : env.model.forward_inference(inputs[i]);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expect_bitwise_equal(expected[i], actual[i]);
+  }
+}
+
+TEST(FlowThreadSafety, PooledInverseBitwiseEqualsSerial) {
+  const auto& env = passflow::testing::tiny_trained_flow();
+  const nn::Matrix z = normal_batch(512, env.model.dim(), 7);
+  util::ThreadPool pool(4);
+  expect_bitwise_equal(env.model.inverse(z), env.model.inverse(z, &pool));
+}
+
+TEST(FlowThreadSafety, PooledForwardInferenceBitwiseEqualsSerial) {
+  const auto& env = passflow::testing::tiny_trained_flow();
+  const nn::Matrix x = normal_batch(512, env.model.dim(), 8);
+  util::ThreadPool pool(4);
+
+  std::vector<double> serial_log_det;
+  std::vector<double> pooled_log_det;
+  const nn::Matrix serial = env.model.forward_inference(x, &serial_log_det);
+  const nn::Matrix pooled =
+      env.model.forward_inference(x, &pooled_log_det, &pool);
+  expect_bitwise_equal(serial, pooled);
+  ASSERT_EQ(serial_log_det, pooled_log_det);
+}
+
+TEST(FlowThreadSafety, PooledSmallBatchFallsBackToSerial) {
+  const auto& env = passflow::testing::tiny_trained_flow();
+  const nn::Matrix z = normal_batch(4, env.model.dim(), 9);
+  util::ThreadPool pool(4);
+  expect_bitwise_equal(env.model.inverse(z), env.model.inverse(z, &pool));
+}
+
+}  // namespace
+}  // namespace passflow::flow

@@ -13,16 +13,8 @@ namespace {
 class ConditionalTest : public ::testing::Test {
  protected:
   ConditionalTest()
-      : rng_(31),
-        encoder_(data::Alphabet::compact(), 6),
-        model_(passflow::testing::tiny_flow_config(), rng_) {
-    for (nn::Param* p : model_.parameters()) {
-      if (p->name.find("s_scale") != std::string::npos) continue;
-      for (std::size_t i = 0; i < p->value.size(); ++i) {
-        p->value.data()[i] += static_cast<float>(rng_.normal(0.0, 0.1));
-      }
-    }
-  }
+      : encoder_(passflow::testing::tiny_trained_flow().encoder),
+        model_(passflow::testing::tiny_trained_flow().model) {}
 
   ConditionalConfig fast_config() {
     ConditionalConfig config;
@@ -31,9 +23,8 @@ class ConditionalTest : public ::testing::Test {
     return config;
   }
 
-  util::Rng rng_;
-  data::Encoder encoder_;
-  flow::FlowModel model_;
+  const data::Encoder& encoder_;
+  const flow::FlowModel& model_;
 };
 
 TEST_F(ConditionalTest, CompletionsMatchThePattern) {
@@ -89,16 +80,8 @@ TEST_F(ConditionalTest, AllWildcardPatternYieldsFullLengthPasswords) {
 }
 
 TEST_F(ConditionalTest, TrainedModelRanksCorpusLikeCompletionsHigher) {
-  // Train the tiny flow on the toy corpus, then complete "1234**": the
-  // corpus contains "123456", which should appear among the completions.
-  passflow::testing::QuietLogs quiet;
-  flow::TrainConfig tc;
-  tc.epochs = 15;
-  tc.batch_size = 64;
-  tc.log_every = 0;
-  flow::Trainer trainer(model_, tc);
-  trainer.train(passflow::testing::toy_corpus(40), encoder_);
-
+  // The shared fixture's flow is trained on the toy corpus, which contains
+  // "123456" — so it should appear among the completions of "1234**".
   ConditionalConfig config;
   config.rounds = 40;
   config.batch_size = 256;

@@ -11,20 +11,11 @@ namespace {
 class InterpolationTest : public ::testing::Test {
  protected:
   InterpolationTest()
-      : rng_(42),
-        encoder_(data::Alphabet::compact(), 6),
-        model_(passflow::testing::tiny_flow_config(), rng_) {
-    for (nn::Param* p : model_.parameters()) {
-      if (p->name.find("s_scale") != std::string::npos) continue;
-      for (std::size_t i = 0; i < p->value.size(); ++i) {
-        p->value.data()[i] += static_cast<float>(rng_.normal(0.0, 0.1));
-      }
-    }
-  }
+      : encoder_(passflow::testing::tiny_trained_flow().encoder),
+        model_(passflow::testing::tiny_trained_flow().model) {}
 
-  util::Rng rng_;
-  data::Encoder encoder_;
-  flow::FlowModel model_;
+  const data::Encoder& encoder_;
+  const flow::FlowModel& model_;
 };
 
 TEST_F(InterpolationTest, ReturnsStepsPlusOneSamples) {

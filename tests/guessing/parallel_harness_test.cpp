@@ -1,0 +1,213 @@
+// Determinism of the parallel guessing path: pooled samplers, pooled
+// matching, and pipelined generation must reproduce the single-threaded
+// run's metrics exactly (same checkpoints, same matched passwords, in the
+// same order). Runs under the `thread_safety` CTest label.
+#include "guessing/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "guessing/dynamic_sampler.hpp"
+#include "guessing/static_sampler.hpp"
+#include "test_support.hpp"
+#include "util/thread_pool.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+using passflow::testing::tiny_trained_flow;
+
+// A target set the samplers can actually hit: every 5th guess of a warmup
+// run over the same model, deduplicated by Matcher.
+std::vector<std::string> reachable_targets() {
+  const auto& env = tiny_trained_flow();
+  StaticSamplerConfig config;
+  config.seed = 404;
+  StaticSampler sampler(env.model, env.encoder, config);
+  std::vector<std::string> warmup;
+  sampler.generate(5000, warmup);
+  std::vector<std::string> targets;
+  for (std::size_t i = 0; i < warmup.size(); i += 5) {
+    targets.push_back(warmup[i]);
+  }
+  return targets;
+}
+
+void expect_same_run(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].guesses, b.checkpoints[i].guesses);
+    EXPECT_EQ(a.checkpoints[i].unique, b.checkpoints[i].unique);
+    EXPECT_EQ(a.checkpoints[i].matched, b.checkpoints[i].matched);
+    EXPECT_DOUBLE_EQ(a.checkpoints[i].matched_percent,
+                     b.checkpoints[i].matched_percent);
+  }
+  EXPECT_EQ(a.matched_passwords, b.matched_passwords);
+  EXPECT_EQ(a.sample_non_matched, b.sample_non_matched);
+}
+
+TEST(ParallelHarness, PooledStaticSamplerOutputIsIdentical) {
+  const auto& env = tiny_trained_flow();
+  util::ThreadPool pool(4);
+
+  StaticSamplerConfig serial_config;
+  serial_config.seed = 21;
+  StaticSampler serial(env.model, env.encoder, serial_config);
+
+  StaticSamplerConfig pooled_config;
+  pooled_config.seed = 21;
+  pooled_config.pool = &pool;
+  StaticSampler pooled(env.model, env.encoder, pooled_config);
+
+  std::vector<std::string> serial_out;
+  std::vector<std::string> pooled_out;
+  serial.generate(4096, serial_out);
+  pooled.generate(4096, pooled_out);
+  EXPECT_EQ(serial_out, pooled_out);
+}
+
+TEST(ParallelHarness, PooledDynamicSamplerOutputIsIdentical) {
+  const auto& env = tiny_trained_flow();
+  util::ThreadPool pool(4);
+
+  auto make_run = [&](util::ThreadPool* sampler_pool) {
+    DynamicSamplerConfig config;
+    config.seed = 33;
+    config.alpha = 0;
+    config.batch_size = 512;
+    config.pool = sampler_pool;
+    DynamicSampler sampler(env.model, env.encoder, config);
+    std::vector<std::string> out;
+    sampler.generate(1024, out);
+    // Feed matches so the mixture path (Eq. 14) is exercised too.
+    sampler.on_match(3, out[3]);
+    sampler.on_match(700, out[700]);
+    sampler.generate(2048, out);
+    return out;
+  };
+
+  EXPECT_EQ(make_run(nullptr), make_run(&pool));
+}
+
+TEST(ParallelHarness, StaticRunMatchesSerialBitwise) {
+  const auto& env = tiny_trained_flow();
+  const Matcher matcher(reachable_targets());
+  util::ThreadPool pool(4);
+
+  auto run = [&](bool parallel) {
+    StaticSamplerConfig config;
+    config.seed = 55;
+    config.batch_size = 1024;
+    if (parallel) config.pool = &pool;
+    StaticSampler sampler(env.model, env.encoder, config);
+    HarnessConfig harness;
+    harness.budget = 20000;
+    harness.chunk_size = 2048;
+    if (parallel) {
+      harness.pool = &pool;
+      harness.overlap_generation = true;
+    }
+    return run_guessing(sampler, matcher, harness);
+  };
+
+  const RunResult serial = run(false);
+  const RunResult parallel = run(true);
+  // The run must actually find matches, or the comparison is vacuous.
+  ASSERT_GT(serial.final().matched, 0u);
+  expect_same_run(serial, parallel);
+}
+
+TEST(ParallelHarness, DynamicRunMatchesSerialBitwise) {
+  // DynamicSampler consumes match feedback, so the harness must refuse to
+  // pipeline generation even when asked — and with the pool only speeding
+  // up inverse/decode/matching, the metrics must not change.
+  const auto& env = tiny_trained_flow();
+  const Matcher matcher(reachable_targets());
+  util::ThreadPool pool(4);
+
+  auto run = [&](bool parallel) {
+    DynamicSamplerConfig config = table1_parameters(20000);
+    config.seed = 66;
+    config.batch_size = 1024;
+    if (parallel) config.pool = &pool;
+    DynamicSampler sampler(env.model, env.encoder, config);
+    HarnessConfig harness;
+    harness.budget = 20000;
+    harness.chunk_size = 2048;
+    if (parallel) {
+      harness.pool = &pool;
+      harness.overlap_generation = true;  // ignored: feedback generator
+    }
+    return run_guessing(sampler, matcher, harness);
+  };
+
+  const RunResult serial = run(false);
+  const RunResult parallel = run(true);
+  ASSERT_GT(serial.final().matched, 0u);
+  expect_same_run(serial, parallel);
+}
+
+// Stateless generator with a deterministic stream, used to pin the overlap
+// machinery itself (chunk schedule, pipelined call order) independently of
+// the flow.
+class CountingGenerator : public GuessGenerator {
+ public:
+  void generate(std::size_t n, std::vector<std::string>& out) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back("g" + std::to_string(cursor_++));
+    }
+  }
+  std::string name() const override { return "counting"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+TEST(ParallelHarness, OverlappedScheduleCoversExactBudget) {
+  Matcher matcher({"g7", "g1000", "g54000", "nope"});
+  util::ThreadPool pool(2);
+
+  auto run = [&](bool overlap) {
+    CountingGenerator generator;
+    HarnessConfig harness;
+    harness.budget = 54321;
+    harness.chunk_size = 1000;
+    harness.pool = overlap ? &pool : nullptr;
+    harness.overlap_generation = overlap;
+    return run_guessing(generator, matcher, harness);
+  };
+
+  const RunResult serial = run(false);
+  const RunResult parallel = run(true);
+  EXPECT_EQ(parallel.final().guesses, 54321u);
+  EXPECT_EQ(parallel.final().matched, 3u);
+  expect_same_run(serial, parallel);
+}
+
+TEST(ParallelHarness, OverlappedCustomCheckpointsStayExact) {
+  Matcher matcher({"g5"});
+  util::ThreadPool pool(2);
+
+  auto run = [&](bool overlap) {
+    CountingGenerator generator;
+    HarnessConfig harness;
+    harness.budget = 5000;
+    harness.chunk_size = 4096;  // larger than checkpoint spacing
+    harness.checkpoints = {10, 100, 2500, 5000};
+    harness.pool = overlap ? &pool : nullptr;
+    harness.overlap_generation = overlap;
+    return run_guessing(generator, matcher, harness);
+  };
+
+  const RunResult serial = run(false);
+  const RunResult parallel = run(true);
+  ASSERT_EQ(parallel.checkpoints.size(), 4u);
+  EXPECT_EQ(parallel.checkpoints[0].guesses, 10u);
+  EXPECT_EQ(parallel.checkpoints[2].guesses, 2500u);
+  expect_same_run(serial, parallel);
+}
+
+}  // namespace
+}  // namespace passflow::guessing

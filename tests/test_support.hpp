@@ -47,4 +47,36 @@ class QuietLogs {
   util::LogLevel previous_;
 };
 
+// A tiny flow trained on the toy corpus, with its encoder and corpus.
+// Obtain through tiny_trained_flow() — never construct directly.
+struct TinyTrainedFlow {
+  data::Encoder encoder{data::Alphabet::compact(), 6};
+  util::Rng init_rng{23};
+  flow::FlowModel model{tiny_flow_config(), init_rng};
+  std::vector<std::string> corpus = toy_corpus(40);
+  flow::TrainResult train_result;
+};
+
+// Process-wide trained-flow fixture: training runs once, on first use, and
+// every test in the binary shares the result. The reference is const —
+// tests must treat the model as immutable (clone the config and train your
+// own flow if you need to mutate weights). Training the tiny architecture
+// on the toy corpus takes well under a second, but saving even that per
+// test fixture keeps the suite fast as trained-model tests accumulate.
+inline const TinyTrainedFlow& tiny_trained_flow() {
+  static const TinyTrainedFlow* env = [] {
+    QuietLogs quiet;
+    auto* e = new TinyTrainedFlow();
+    flow::TrainConfig config;
+    config.epochs = 12;
+    config.batch_size = 64;
+    config.log_every = 0;
+    config.seed = 29;
+    flow::Trainer trainer(e->model, config);
+    e->train_result = trainer.train(e->corpus, e->encoder);
+    return e;
+  }();
+  return *env;
+}
+
 }  // namespace passflow::testing
