@@ -1,13 +1,20 @@
 // google-benchmark microbenchmarks for the flow itself: forward, inverse and
 // NLL-backward throughput at paper architecture (18x256x2) and at the bench
-// default (8x96x2), plus encoder and sampler throughput.
+// default (8x96x2), plus encoder and sampler throughput, the GEMM backend
+// size sweep and the train-step (serial vs pooled) comparison behind
+// BENCH_gemm.json.
 #include <benchmark/benchmark.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "data/encoder.hpp"
 #include "flow/flow_model.hpp"
 #include "guessing/harness.hpp"
 #include "guessing/matcher.hpp"
 #include "guessing/static_sampler.hpp"
+#include "nn/gemm.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -186,6 +193,106 @@ void BM_GuessingHarness(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32768);
 }
 BENCHMARK(BM_GuessingHarness)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---- GEMM backend size sweep ---------------------------------------------
+// Single-threaded on purpose (OpenMP pinned to one thread for the timed
+// region) so the numbers isolate kernel quality from core count; this is
+// the bench behind the ">=3x blocked vs naive at 256^3" acceptance line in
+// BENCH_gemm.json. range(0) selects the backend, range(1) the square size.
+// Caveat: the pinning only reaches OpenMP — a BLAS with its own thread
+// pool (e.g. pthread OpenBLAS) ignores it, so for a fair blas datapoint
+// also export OPENBLAS_NUM_THREADS=1 (or the vendor equivalent).
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto backend = static_cast<pf::nn::gemm::Backend>(state.range(0));
+  if (!pf::nn::gemm::available(backend)) {
+    state.SkipWithError("backend not compiled in");
+    return;
+  }
+  const auto size = static_cast<std::size_t>(state.range(1));
+  const pf::nn::Matrix a = random_batch(size, size, 11);
+  const pf::nn::Matrix b = random_batch(size, size, 12);
+  pf::nn::Matrix out;
+#ifdef _OPENMP
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  for (auto _ : state) {
+    pf::nn::gemm::gemm_nn(backend, a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved_threads);
+#endif
+  state.SetLabel(pf::nn::gemm::backend_name(backend));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(size) *
+                          static_cast<int64_t>(size) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_GemmSquare)
+    ->ArgNames({"backend", "n"})
+    ->Args({0, 64})->Args({1, 64})
+    ->Args({0, 128})->Args({1, 128})
+    ->Args({0, 256})->Args({1, 256})
+    ->Args({0, 384})->Args({1, 384})
+    ->Args({2, 256});  // skipped unless a BLAS was compiled in
+
+// The three GEMM flavors at the training hot-path shape (batch 512, hidden
+// 256): nn is the forward matmul, tn the weight gradient, nt the input
+// gradient.
+void BM_GemmTrainShapes(benchmark::State& state) {
+  const auto backend = static_cast<pf::nn::gemm::Backend>(state.range(0));
+  if (!pf::nn::gemm::available(backend)) {
+    state.SkipWithError("backend not compiled in");
+    return;
+  }
+  const pf::nn::Matrix x = random_batch(512, 256, 13);
+  const pf::nn::Matrix w = random_batch(256, 256, 14);
+  pf::nn::Matrix h, dw, dx;
+#ifdef _OPENMP
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  for (auto _ : state) {
+    pf::nn::gemm::gemm_nn(backend, x, w, h);     // forward
+    pf::nn::gemm::gemm_tn(backend, x, h, dw);    // weight gradient
+    pf::nn::gemm::gemm_nt(backend, h, w, dx);    // input gradient
+    benchmark::DoNotOptimize(dw.data());
+    benchmark::DoNotOptimize(dx.data());
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved_threads);
+#endif
+  state.SetLabel(pf::nn::gemm::backend_name(backend));
+}
+BENCHMARK(BM_GemmTrainShapes)->ArgNames({"backend"})->Arg(0)->Arg(1);
+
+// ---- training step: serial vs batch-parallel -----------------------------
+// One zero_grad + nll_backward at batch 512; range(2) = 0 runs the serial
+// path, 1 shards the batch across util::shared_pool() with the
+// deterministic tree reduction.
+
+void BM_TrainStep(benchmark::State& state) {
+  pf::util::Rng rng(15);
+  pf::flow::FlowModel model(
+      config_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))),
+      rng);
+  const pf::nn::Matrix x = random_batch(512, 10, 16);
+  pf::util::ThreadPool* pool =
+      state.range(2) != 0 ? &pf::util::shared_pool() : nullptr;
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(model.nll_backward(x, pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_TrainStep)
+    ->ArgNames({"couplings", "hidden", "pooled"})
+    ->Args({8, 96, 0})->Args({8, 96, 1})
+    ->Args({18, 256, 0})->Args({18, 256, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,19 +2,45 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/ops.hpp"
 
 namespace passflow::flow {
 
 namespace {
-nn::Matrix apply_mask(const nn::Matrix& x, const std::vector<float>& mask) {
-  nn::Matrix out = x;
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    for (std::size_t c = 0; c < out.cols(); ++c) row[c] *= mask[c];
+void apply_mask_into(const nn::Matrix& x, const std::vector<float>& mask,
+                     nn::Matrix& out) {
+  out.resize(x.rows(), x.cols());
+  const float* md = mask.data();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    float* outr = out.row(r);
+#pragma omp simd
+    for (std::size_t c = 0; c < x.cols(); ++c) outr[c] = xr[c] * md[c];
   }
+}
+
+nn::Matrix apply_mask(const nn::Matrix& x, const std::vector<float>& mask) {
+  nn::Matrix out;
+  apply_mask_into(x, mask, out);
   return out;
+}
+
+// s = scale * tanh(s_raw), the Real NVP bounded-scale transform. Shared by
+// the training and inference paths so the formula lives in one place; `s`
+// must not alias `s_raw`.
+void bounded_scale_into(const nn::Matrix& s_raw, const nn::Matrix& scale_vec,
+                        nn::Matrix& s) {
+  s.resize(s_raw.rows(), s_raw.cols());
+  const float* scale = scale_vec.data();
+  for (std::size_t r = 0; r < s_raw.rows(); ++r) {
+    const float* raw = s_raw.row(r);
+    float* sr = s.row(r);
+    for (std::size_t c = 0; c < s_raw.cols(); ++c) {
+      sr[c] = scale[c] * std::tanh(raw[c]);
+    }
+  }
 }
 }  // namespace
 
@@ -29,40 +55,41 @@ AffineCoupling::AffineCoupling(std::size_t dim, std::size_t hidden,
   }
 }
 
+// Inference-only helper: allocates per call so concurrent callers never
+// share state. The training path (forward_into) uses member workspaces.
 AffineCoupling::STResult AffineCoupling::compute_st(
-    const nn::Matrix& masked_input, bool training) const {
-  nn::ResNetST::Output out = training
-                                 ? net_.forward(masked_input)
-                                 : net_.forward_inference(masked_input);
+    const nn::Matrix& masked_input) const {
+  nn::ResNetST::Output out = net_.forward_inference(masked_input);
   STResult result;
-  result.s_raw = out.s_raw;
+  result.s_raw = std::move(out.s_raw);
   result.t = std::move(out.t);
-  result.s = result.s_raw;
-  const float* scale = s_scale_.value.data();
-  for (std::size_t r = 0; r < result.s.rows(); ++r) {
-    float* row = result.s.row(r);
-    for (std::size_t c = 0; c < result.s.cols(); ++c) {
-      row[c] = scale[c] * std::tanh(row[c]);
-    }
-  }
+  bounded_scale_into(result.s_raw, s_scale_.value, result.s);
   return result;
 }
 
 nn::Matrix AffineCoupling::forward(const nn::Matrix& x,
                                    std::vector<double>& log_det) {
+  nn::Matrix z;
+  forward_into(x, log_det, z);
+  return z;
+}
+
+void AffineCoupling::forward_into(const nn::Matrix& x,
+                                  std::vector<double>& log_det,
+                                  nn::Matrix& z) {
   if (log_det.size() != x.rows()) {
     throw std::invalid_argument("log_det size mismatch");
   }
   cached_x_ = x;
-  STResult st = compute_st(apply_mask(x, mask_), /*training=*/true);
-  cached_s_ = st.s;
-  cached_s_raw_ = st.s_raw;
+  apply_mask_into(x, mask_, masked_ws_);
+  net_.forward_into(masked_ws_, cached_s_raw_, t_ws_);
+  bounded_scale_into(cached_s_raw_, s_scale_.value, cached_s_);
 
-  nn::Matrix z(x.rows(), x.cols());
+  z.resize(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     const float* xr = x.row(r);
-    const float* sr = st.s.row(r);
-    const float* tr = st.t.row(r);
+    const float* sr = cached_s_.row(r);
+    const float* tr = t_ws_.row(r);
     float* zr = z.row(r);
     double ld = 0.0;
     for (std::size_t c = 0; c < x.cols(); ++c) {
@@ -73,12 +100,11 @@ nn::Matrix AffineCoupling::forward(const nn::Matrix& x,
     }
     log_det[r] += ld;
   }
-  return z;
 }
 
 nn::Matrix AffineCoupling::forward_inference(const nn::Matrix& x,
                                              std::vector<double>* log_det) const {
-  STResult st = compute_st(apply_mask(x, mask_), /*training=*/false);
+  STResult st = compute_st(apply_mask(x, mask_));
   nn::Matrix z(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     const float* xr = x.row(r);
@@ -100,7 +126,7 @@ nn::Matrix AffineCoupling::forward_inference(const nn::Matrix& x,
 nn::Matrix AffineCoupling::inverse(const nn::Matrix& z) const {
   // The conditioning input b.z equals b.x because masked coordinates pass
   // through unchanged, so s and t are recoverable from z alone.
-  STResult st = compute_st(apply_mask(z, mask_), /*training=*/false);
+  STResult st = compute_st(apply_mask(z, mask_));
   nn::Matrix x(z.rows(), z.cols());
   for (std::size_t r = 0; r < z.rows(); ++r) {
     const float* zr = z.row(r);
@@ -121,15 +147,25 @@ nn::Matrix AffineCoupling::inverse(const nn::Matrix& z) const {
 
 nn::Matrix AffineCoupling::backward(const nn::Matrix& grad_z,
                                     const std::vector<double>& grad_log_det) {
+  nn::Matrix grad_x;
+  backward_into(grad_z, grad_log_det, grad_x);
+  return grad_x;
+}
+
+void AffineCoupling::backward_into(const nn::Matrix& grad_z,
+                                   const std::vector<double>& grad_log_det,
+                                   nn::Matrix& grad_x) {
   if (!grad_z.same_shape(cached_x_)) {
     throw std::invalid_argument("backward called without matching forward");
   }
   const std::size_t rows = grad_z.rows();
   const std::size_t cols = grad_z.cols();
 
-  nn::Matrix grad_s(rows, cols);
-  nn::Matrix grad_t(rows, cols);
-  nn::Matrix grad_x(rows, cols);
+  nn::Matrix& grad_s = grad_s_ws_;
+  nn::Matrix& grad_t = grad_t_ws_;
+  grad_s.resize(rows, cols);
+  grad_t.resize(rows, cols);
+  grad_x.resize(rows, cols);
 
   for (std::size_t r = 0; r < rows; ++r) {
     const float* gz = grad_z.row(r);
@@ -152,7 +188,8 @@ nn::Matrix AffineCoupling::backward(const nn::Matrix& grad_z,
   }
 
   // Backprop s = s_scale * tanh(s_raw).
-  nn::Matrix grad_s_raw(rows, cols);
+  nn::Matrix& grad_s_raw = grad_s_raw_ws_;
+  grad_s_raw.resize(rows, cols);
   const float* scale = s_scale_.value.data();
   float* gscale = s_scale_.grad.data();
   for (std::size_t r = 0; r < rows; ++r) {
@@ -168,15 +205,14 @@ nn::Matrix AffineCoupling::backward(const nn::Matrix& grad_z,
 
   // Backprop through the s/t network into its masked input, then through
   // the masking (h = b.x) into x.
-  nn::Matrix grad_h = net_.backward(grad_s_raw, grad_t);
+  net_.backward_into(grad_s_raw, grad_t, grad_h_ws_);
   for (std::size_t r = 0; r < rows; ++r) {
-    const float* gh = grad_h.row(r);
+    const float* gh = grad_h_ws_.row(r);
     float* gx = grad_x.row(r);
     for (std::size_t c = 0; c < cols; ++c) {
       gx[c] += mask_[c] * gh[c];
     }
   }
-  return grad_x;
 }
 
 std::vector<nn::Param*> AffineCoupling::parameters() {

@@ -32,6 +32,10 @@ class AffineCoupling {
   // Training forward x -> z. Adds each sample's log-det contribution into
   // `log_det` (size = batch rows). Caches activations for backward().
   nn::Matrix forward(const nn::Matrix& x, std::vector<double>& log_det);
+  // Same, writing z into a caller buffer (must not alias x); allocation-free
+  // once warm via member workspaces, so only safe from one trainer thread.
+  void forward_into(const nn::Matrix& x, std::vector<double>& log_det,
+                    nn::Matrix& z);
 
   // Inference forward (no caching, no gradients).
   nn::Matrix forward_inference(const nn::Matrix& x,
@@ -44,6 +48,9 @@ class AffineCoupling {
   // sample, accumulates parameter gradients, returns dL/dx.
   nn::Matrix backward(const nn::Matrix& grad_z,
                       const std::vector<double>& grad_log_det);
+  void backward_into(const nn::Matrix& grad_z,
+                     const std::vector<double>& grad_log_det,
+                     nn::Matrix& grad_x);
 
   std::vector<nn::Param*> parameters();
 
@@ -53,7 +60,7 @@ class AffineCoupling {
     nn::Matrix s_raw;  // cached pre-tanh logits (backward needs them)
     nn::Matrix t;
   };
-  STResult compute_st(const nn::Matrix& masked_input, bool training) const;
+  STResult compute_st(const nn::Matrix& masked_input) const;
 
   std::vector<float> mask_;  // b
   mutable nn::ResNetST net_; // mutable: forward_inference caches nothing but
@@ -64,6 +71,15 @@ class AffineCoupling {
   nn::Matrix cached_x_;
   nn::Matrix cached_s_;
   nn::Matrix cached_s_raw_;
+
+  // Training-only workspaces (never touched by the const inference paths,
+  // which must stay safe under concurrent calls).
+  nn::Matrix masked_ws_;
+  nn::Matrix t_ws_;
+  nn::Matrix grad_s_ws_;
+  nn::Matrix grad_t_ws_;
+  nn::Matrix grad_s_raw_ws_;
+  nn::Matrix grad_h_ws_;
 };
 
 }  // namespace passflow::flow

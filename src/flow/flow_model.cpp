@@ -108,36 +108,136 @@ std::vector<double> FlowModel::log_prob(const nn::Matrix& x) const {
 
 double FlowModel::nll_backward(const nn::Matrix& x) {
   const std::size_t n = x.rows();
-  std::vector<double> log_det;
-  const nn::Matrix z = forward(x, log_det);
+  log_det_ws_.assign(n, 0.0);
+
+  // Forward ladder: activations ping-pong between the two workspaces, so a
+  // warm trainer performs no allocations here.
+  const nn::Matrix* h = &x;
+  for (auto& coupling : couplings_) {
+    nn::Matrix& dst = (h == &fwd_ws_a_) ? fwd_ws_b_ : fwd_ws_a_;
+    coupling->forward_into(*h, log_det_ws_, dst);
+    h = &dst;
+  }
+  const nn::Matrix& z = *h;
 
   // L = (1/n) sum_i [ 0.5*||z_i||^2 + D/2 log(2pi) - log_det_i ]
   double loss = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    loss += -standard_normal_log_density(z.row(r), z.cols()) - log_det[r];
+    loss += -standard_normal_log_density(z.row(r), z.cols()) - log_det_ws_[r];
   }
   loss /= static_cast<double>(n);
 
   // dL/dz = z / n ; dL/d(log_det_i) = -1/n.
-  nn::Matrix grad_z = z;
-  nn::scale_inplace(grad_z, 1.0f / static_cast<float>(n));
-  std::vector<double> grad_log_det(n, -1.0 / static_cast<double>(n));
+  grad_ws_a_ = z;
+  nn::scale_inplace(grad_ws_a_, 1.0f / static_cast<float>(n));
+  grad_log_det_ws_.assign(n, -1.0 / static_cast<double>(n));
 
-  nn::Matrix grad = grad_z;
-  std::vector<double> grad_ld = grad_log_det;
+  const nn::Matrix* g = &grad_ws_a_;
   for (auto it = couplings_.rbegin(); it != couplings_.rend(); ++it) {
-    grad = (*it)->backward(grad, grad_ld);
+    nn::Matrix& dst = (g == &grad_ws_a_) ? grad_ws_b_ : grad_ws_a_;
+    (*it)->backward_into(*g, grad_log_det_ws_, dst);
+    g = &dst;
     // grad_log_det flows unchanged through earlier layers: each layer's
     // log-det enters the loss additively, so every coupling sees -1/n.
   }
   return loss;
 }
 
-double FlowModel::nll(const nn::Matrix& x) const {
-  const auto lp = log_prob(x);
+namespace {
+// Shards smaller than this are not worth a replica sync + reduction.
+constexpr std::size_t kMinRowsPerShard = 32;
+}  // namespace
+
+void FlowModel::ensure_replicas(std::size_t count) {
+  while (replicas_.size() < count) {
+    // Initial weights are irrelevant — every pooled step overwrites them
+    // with this model's parameters before use.
+    util::Rng rng(0x9e3779b9 + replicas_.size());
+    replicas_.push_back(std::make_unique<FlowModel>(config_, rng));
+  }
+  if (shard_ws_.size() < count) shard_ws_.resize(count);
+}
+
+double FlowModel::nll_backward(const nn::Matrix& x, util::ThreadPool* pool) {
+  const std::size_t rows = x.rows();
+  const std::size_t shards =
+      (pool != nullptr && pool->size() > 1)
+          ? std::min<std::size_t>(pool->size(), rows / kMinRowsPerShard)
+          : 0;
+  if (shards < 2) return nll_backward(x);
+  ensure_replicas(shards);
+
+  const auto params = parameters();
+  std::vector<double> shard_loss(shards, 0.0);
+  std::vector<std::size_t> shard_rows(shards, 0);
+
+  // Each worker syncs its replica's parameters, then runs the serial
+  // forward+backward on its contiguous shard. The balanced split below
+  // (shard s covers [s*rows/shards, (s+1)*rows/shards)) keeps every shard
+  // non-empty and in range for any shards <= rows, unlike a ceil-division
+  // partition whose tail shards can start past the end. Replicas are
+  // worker-private, so no state is shared; OpenMP inside pool workers is
+  // pinned to one thread, so the GEMMs stay serial per worker.
+  pool->parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = s * rows / shards;
+    const std::size_t end = (s + 1) * rows / shards;
+    FlowModel& replica = *replicas_[s];
+    const auto rparams = replica.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      rparams[i]->value = params[i]->value;
+    }
+    replica.zero_grad();
+
+    nn::Matrix& shard = shard_ws_[s];
+    shard.resize(end - begin, x.cols());
+    std::copy(x.row(begin), x.row(begin) + shard.size(), shard.data());
+
+    shard_loss[s] = replica.nll_backward(shard);
+    shard_rows[s] = end - begin;
+  });
+
+  // Combine: grad = sum_s (n_s / n) * grad_s, reduced pairwise over a tree
+  // whose shape depends only on the shard count, parallelized across
+  // parameters (each parameter's arithmetic happens on exactly one worker
+  // in a fixed order, so results are bitwise reproducible).
+  std::vector<std::vector<nn::Param*>> rparams(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    rparams[s] = replicas_[s]->parameters();
+  }
+  pool->parallel_for(params.size(), [&](std::size_t pi) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const float w = static_cast<float>(
+          static_cast<double>(shard_rows[s]) / static_cast<double>(rows));
+      nn::scale_inplace(rparams[s][pi]->grad, w);
+    }
+    for (std::size_t stride = 1; stride < shards; stride *= 2) {
+      for (std::size_t s = 0; s + stride < shards; s += 2 * stride) {
+        nn::add_inplace(rparams[s][pi]->grad, rparams[s + stride][pi]->grad);
+      }
+    }
+    nn::add_inplace(params[pi]->grad, rparams[0][pi]->grad);
+  });
+
   double loss = 0.0;
-  for (double v : lp) loss -= v;
-  return loss / static_cast<double>(lp.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    loss += shard_loss[s] * static_cast<double>(shard_rows[s]) /
+            static_cast<double>(rows);
+  }
+  return loss;
+}
+
+double FlowModel::nll(const nn::Matrix& x) const {
+  return nll(x, nullptr);
+}
+
+double FlowModel::nll(const nn::Matrix& x, util::ThreadPool* pool) const {
+  std::vector<double> log_det;
+  const nn::Matrix z = forward_inference(x, &log_det, pool);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    loss -= standard_normal_log_density(z.row(r), z.cols()) + log_det[r];
+  }
+  return loss / static_cast<double>(x.rows());
 }
 
 std::vector<nn::Param*> FlowModel::parameters() {

@@ -55,8 +55,21 @@ class FlowModel {
   // gradients, and returns the loss. Callers zero_grad + optimizer-step.
   double nll_backward(const nn::Matrix& x);
 
+  // Batch-parallel training step: splits the batch into one contiguous
+  // shard per pool worker, runs forward+backward on a persistent per-worker
+  // model replica (its own caches, its own gradient buffers), then combines
+  // the shard gradients with a fixed-shape pairwise tree reduction weighted
+  // by shard size. Shard boundaries, tree shape and summation order depend
+  // only on (batch size, pool size), so gradients are bitwise reproducible
+  // across runs at a fixed pool size. Falls back to the serial path for a
+  // null/singleton pool or a small batch. Replicas sync parameter values
+  // from this model at the start of every call.
+  double nll_backward(const nn::Matrix& x, util::ThreadPool* pool);
+
   // Same loss without gradients (validation).
   double nll(const nn::Matrix& x) const;
+  // Pooled variant: row-chunked forward_inference, bitwise identical.
+  double nll(const nn::Matrix& x, util::ThreadPool* pool) const;
 
   std::vector<nn::Param*> parameters();
   std::size_t parameter_count();
@@ -66,8 +79,24 @@ class FlowModel {
   void load(const std::string& path);
 
  private:
+  void ensure_replicas(std::size_t count);
+
   FlowConfig config_;
   std::vector<std::unique_ptr<AffineCoupling>> couplings_;
+
+  // Training-only workspaces for nll_backward: activations and gradients
+  // ping-pong between two buffers instead of reallocating per coupling.
+  nn::Matrix fwd_ws_a_;
+  nn::Matrix fwd_ws_b_;
+  nn::Matrix grad_ws_a_;
+  nn::Matrix grad_ws_b_;
+  std::vector<double> log_det_ws_;
+  std::vector<double> grad_log_det_ws_;
+
+  // Batch-parallel training state: one model replica and one input-shard
+  // buffer per pool worker, created lazily and reused across steps.
+  std::vector<std::unique_ptr<FlowModel>> replicas_;
+  std::vector<nn::Matrix> shard_ws_;
 };
 
 // log N(z; 0, I) for one row.

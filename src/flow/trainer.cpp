@@ -78,7 +78,7 @@ TrainResult Trainer::train(
     nn::Matrix batch;
     while (dataset.next_batch(config_.batch_size, rng, batch) > 0) {
       model_.zero_grad();
-      const double loss = model_.nll_backward(batch);
+      const double loss = model_.nll_backward(batch, config_.pool);
       optimizer.step();
       epoch_loss += loss;
       ++batches;
@@ -92,8 +92,9 @@ TrainResult Trainer::train(
     stats.epoch = epoch;
     stats.train_nll = batches > 0 ? epoch_loss / static_cast<double>(batches)
                                   : 0.0;
-    stats.validation_nll =
-        val_batch.rows() > 0 ? model_.nll(val_batch) : stats.train_nll;
+    stats.validation_nll = val_batch.rows() > 0
+                               ? model_.nll(val_batch, config_.pool)
+                               : stats.train_nll;
     stats.seconds = timer.elapsed_seconds();
     result.history.push_back(stats);
 

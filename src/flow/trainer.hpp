@@ -8,6 +8,7 @@
 #include "data/dataset.hpp"
 #include "flow/flow_model.hpp"
 #include "nn/adam.hpp"
+#include "util/thread_pool.hpp"
 
 namespace passflow::flow {
 
@@ -23,6 +24,12 @@ struct TrainConfig {
   // Fraction of the training set held out to pick the best epoch; 0 keeps
   // the final weights instead.
   double validation_fraction = 0.05;
+  // Optional worker pool: nll_backward shards each batch across it (one
+  // model replica per worker, deterministic tree-reduced gradients) and
+  // validation NLL uses row-chunked inference. Null trains single-threaded.
+  // Results are bitwise reproducible at a fixed pool size but differ from
+  // the serial summation order.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct EpochStats {

@@ -1,5 +1,6 @@
 #include "nn/activation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace passflow::nn {
@@ -36,29 +37,105 @@ float activate_grad(ActKind kind, float x, float leak) {
   return 1.0f;
 }
 
-Matrix Activation::apply(const Matrix& input) const {
-  Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = activate(kind_, out.data()[i], leak_);
+// Hoists the kind switch out of the elementwise loop so each branch is a
+// tight `#pragma omp simd` loop (ReLU variants vectorize fully; tanh and
+// sigmoid keep their libm calls but lose the per-element dispatch).
+void Activation::apply_into(const Matrix& input, Matrix& out) const {
+  if (&out != &input) {
+    out.resize(input.rows(), input.cols());
+    std::copy(input.data(), input.data() + input.size(), out.data());
   }
-  return out;
+  float* d = out.data();
+  const std::size_t size = out.size();
+  switch (kind_) {
+    case ActKind::kRelu:
+#pragma omp simd
+      for (std::size_t i = 0; i < size; ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+      break;
+    case ActKind::kLeakyRelu: {
+      const float leak = leak_;
+#pragma omp simd
+      for (std::size_t i = 0; i < size; ++i) {
+        d[i] = d[i] > 0.0f ? d[i] : leak * d[i];
+      }
+      break;
+    }
+    case ActKind::kTanh:
+      for (std::size_t i = 0; i < size; ++i) d[i] = std::tanh(d[i]);
+      break;
+    case ActKind::kSigmoid:
+      for (std::size_t i = 0; i < size; ++i) {
+        d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+      }
+      break;
+  }
 }
 
 Matrix Activation::forward(const Matrix& input) {
   cached_input_ = input;
-  return apply(input);
+  Matrix out;
+  apply_into(input, out);
+  return out;
+}
+
+void Activation::forward_into(const Matrix& input, Matrix& out) {
+  cached_input_ = input;  // copy before apply so aliased in-place calls work
+  apply_into(input, out);
 }
 
 Matrix Activation::forward_inference(const Matrix& input) {
-  return apply(input);
+  Matrix out;
+  apply_into(input, out);
+  return out;
+}
+
+void Activation::forward_inference_into(const Matrix& input, Matrix& out) {
+  apply_into(input, out);
 }
 
 Matrix Activation::backward(const Matrix& grad_output) {
-  Matrix dx = grad_output;
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    dx.data()[i] *= activate_grad(kind_, cached_input_.data()[i], leak_);
-  }
+  Matrix dx;
+  backward_into(grad_output, dx);
   return dx;
+}
+
+void Activation::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+  if (&grad_input != &grad_output) {
+    grad_input.resize(grad_output.rows(), grad_output.cols());
+    std::copy(grad_output.data(), grad_output.data() + grad_output.size(),
+              grad_input.data());
+  }
+  float* d = grad_input.data();
+  const float* x = cached_input_.data();
+  const std::size_t size = grad_input.size();
+  switch (kind_) {
+    case ActKind::kRelu:
+#pragma omp simd
+      for (std::size_t i = 0; i < size; ++i) {
+        d[i] = x[i] > 0.0f ? d[i] : 0.0f;
+      }
+      break;
+    case ActKind::kLeakyRelu: {
+      const float leak = leak_;
+#pragma omp simd
+      for (std::size_t i = 0; i < size; ++i) {
+        d[i] = x[i] > 0.0f ? d[i] : leak * d[i];
+      }
+      break;
+    }
+    case ActKind::kTanh:
+      for (std::size_t i = 0; i < size; ++i) {
+        const float t = std::tanh(x[i]);
+        d[i] *= 1.0f - t * t;
+      }
+      break;
+    case ActKind::kSigmoid:
+      for (std::size_t i = 0; i < size; ++i) {
+        const float s = 1.0f / (1.0f + std::exp(-x[i]));
+        d[i] *= s * (1.0f - s);
+      }
+      break;
+  }
 }
 
 }  // namespace passflow::nn

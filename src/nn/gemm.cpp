@@ -1,0 +1,433 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace passflow::nn::gemm {
+
+namespace {
+
+// ---------------------------------------------------------------- blocked
+//
+// GotoBLAS-style blocking. The micro-kernel computes an MR x NR tile of C
+// held entirely in registers while streaming one packed column of A
+// (MR floats) and one packed row of B (NR floats) per k step. NR = 16 is
+// two AVX-512 lanes / four SSE lanes; MR x NR = 4 x 16 accumulators fit
+// the 16 ymm registers of AVX2 exactly. Panels are zero-padded to MR/NR
+// multiples so the micro-kernel never branches on tails; the write-back
+// clips to the valid region instead.
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 16;
+// L2-sized A block, L1-sized B panel strips, L3-sized B block.
+constexpr std::size_t kMC = 128;
+constexpr std::size_t kKC = 384;
+constexpr std::size_t kNC = 4096;
+
+constexpr std::size_t round_up(std::size_t v, std::size_t q) {
+  return (v + q - 1) / q * q;
+}
+
+// Pack buffers are thread_local so repeated GEMM calls (every layer of
+// every training step) reuse one allocation per thread, and so the OpenMP
+// workers inside the ic loop each pack into private storage.
+std::vector<float>& tls_apack() {
+  static thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<float>& tls_bpack() {
+  static thread_local std::vector<float> buf;
+  return buf;
+}
+
+// Compile the hot kernel once per ISA level and pick at load time, so the
+// portable baseline build still uses FMA/AVX on machines that have them.
+// The ifunc resolver behind target_clones runs before sanitizer runtimes
+// initialize and segfaults under TSan/ASan, so sanitized builds fall back
+// to the single baseline kernel.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PASSFLOW_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PASSFLOW_SANITIZED 1
+#endif
+
+// The "arch=x86-64-v*" clone values need GCC >= 12 or Clang >= 17; older
+// compilers reject them at parse time, so they get the baseline kernel.
+#if defined(__x86_64__) && defined(__gnu_linux__) &&          \
+    !defined(PASSFLOW_SANITIZED) &&                           \
+    ((defined(__clang_major__) && __clang_major__ >= 17) ||   \
+     (!defined(__clang__) && defined(__GNUC__) && __GNUC__ >= 12))
+#define PASSFLOW_GEMM_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define PASSFLOW_GEMM_CLONES
+#endif
+
+// C[mc x nc] (stride ldc) = or += Apack * Bpack, panels packed as below.
+PASSFLOW_GEMM_CLONES
+void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc,
+                  const float* apack, const float* bpack, float* c,
+                  std::size_t ldc, bool accumulate) {
+  for (std::size_t jr = 0; jr < nc; jr += kNR) {
+    const float* bp = bpack + jr * kc;
+    const std::size_t nr = std::min(kNR, nc - jr);
+    for (std::size_t ir = 0; ir < mc; ir += kMR) {
+      const float* ap = apack + ir * kc;
+      const std::size_t mr = std::min(kMR, mc - ir);
+
+      float acc[kMR * kNR] = {};
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* bv = bp + p * kNR;
+        const float* av = ap + p * kMR;
+        for (std::size_t i = 0; i < kMR; ++i) {
+          const float a = av[i];
+          float* arow = acc + i * kNR;
+#pragma omp simd
+          for (std::size_t j = 0; j < kNR; ++j) arow[j] += a * bv[j];
+        }
+      }
+
+      for (std::size_t i = 0; i < mr; ++i) {
+        float* crow = c + (ir + i) * ldc + jr;
+        const float* arow = acc + i * kNR;
+        if (accumulate) {
+#pragma omp simd
+          for (std::size_t j = 0; j < nr; ++j) crow[j] += arow[j];
+        } else {
+#pragma omp simd
+          for (std::size_t j = 0; j < nr; ++j) crow[j] = arow[j];
+        }
+      }
+    }
+  }
+}
+
+// Generic blocked driver. a_at(r, p) / b_at(p, c) are element accessors for
+// the logical (m x k) * (k x n) product, which lets the one driver serve
+// matmul, matmul_tn and matmul_nt — the packing step absorbs the transpose.
+// Summation over k runs in ascending order for every output element
+// regardless of OpenMP thread count, so results are deterministic.
+template <class AGet, class BGet>
+void blocked_impl(std::size_t m, std::size_t n, std::size_t k, AGet a_at,
+                  BGet b_at, Matrix& out) {
+  out.resize(m, n);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    out.zero();
+    return;
+  }
+  float* c = out.data();
+
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      const bool accumulate = pc > 0;
+
+      // Pack B(pc:pc+kc, jc:jc+nc) into NR-wide panels, zero-padded.
+      std::vector<float>& bpack = tls_bpack();
+      bpack.resize(round_up(nc, kNR) * kc);
+      for (std::size_t jp = 0; jp < nc; jp += kNR) {
+        float* panel = bpack.data() + jp * kc;
+        const std::size_t nr = std::min(kNR, nc - jp);
+        for (std::size_t p = 0; p < kc; ++p) {
+          float* d = panel + p * kNR;
+          for (std::size_t j = 0; j < nr; ++j) {
+            d[j] = b_at(pc + p, jc + jp + j);
+          }
+          for (std::size_t j = nr; j < kNR; ++j) d[j] = 0.0f;
+        }
+      }
+      const float* bpack_data = bpack.data();
+
+      const std::ptrdiff_t mblocks =
+          static_cast<std::ptrdiff_t>((m + kMC - 1) / kMC);
+#pragma omp parallel for schedule(static) \
+    if (mblocks > 1 && m * n * k > (std::size_t{1} << 20))
+      for (std::ptrdiff_t icb = 0; icb < mblocks; ++icb) {
+        const std::size_t ic = static_cast<std::size_t>(icb) * kMC;
+        const std::size_t mc = std::min(kMC, m - ic);
+
+        // Pack A(ic:ic+mc, pc:pc+kc) into MR-tall panels, zero-padded.
+        std::vector<float>& apack = tls_apack();
+        apack.resize(round_up(mc, kMR) * kc);
+        for (std::size_t ip = 0; ip < mc; ip += kMR) {
+          float* panel = apack.data() + ip * kc;
+          const std::size_t mr = std::min(kMR, mc - ip);
+          for (std::size_t p = 0; p < kc; ++p) {
+            float* d = panel + p * kMR;
+            for (std::size_t i = 0; i < mr; ++i) {
+              d[i] = a_at(ic + ip + i, pc + p);
+            }
+            for (std::size_t i = mr; i < kMR; ++i) d[i] = 0.0f;
+          }
+        }
+
+        macro_kernel(mc, nc, kc, apack.data(), bpack_data,
+                     c + ic * n + jc, n, accumulate);
+      }
+    }
+  }
+}
+
+void gemm_nn_blocked(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  blocked_impl(
+      m, n, k, [ad, k](std::size_t r, std::size_t p) { return ad[r * k + p]; },
+      [bd, n](std::size_t p, std::size_t c) { return bd[p * n + c]; }, out);
+}
+
+void gemm_tn_blocked(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  blocked_impl(
+      m, n, k, [ad, m](std::size_t r, std::size_t p) { return ad[p * m + r]; },
+      [bd, n](std::size_t p, std::size_t c) { return bd[p * n + c]; }, out);
+}
+
+void gemm_nt_blocked(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  blocked_impl(
+      m, n, k, [ad, k](std::size_t r, std::size_t p) { return ad[r * k + p]; },
+      [bd, k](std::size_t p, std::size_t c) { return bd[c * k + p]; }, out);
+}
+
+// ------------------------------------------------------------------ naive
+// The original kernels, kept verbatim as the correctness reference.
+
+void gemm_nn_naive(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  out.resize(m, n);
+  out.zero();
+  const float* bd = b.data();
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* ar = a.row(r);
+    float* outr = out.row(r);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = ar[kk];
+      const float* br = bd + kk * n;
+      for (std::size_t c = 0; c < n; ++c) outr[c] += av * br[c];
+    }
+  }
+}
+
+void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  out.resize(m, n);
+  out.zero();
+  // out(r,c) = sum_kk a(kk,r) * b(kk,c). Parallelize over output rows;
+  // each thread walks both inputs row-wise so access stays sequential.
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+  for (std::size_t r = 0; r < m; ++r) {
+    float* outr = out.row(r);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a(kk, r);
+      const float* br = b.row(kk);
+      for (std::size_t c = 0; c < n; ++c) outr[c] += av * br[c];
+    }
+  }
+}
+
+void gemm_nt_naive(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  out.resize(m, n);
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* ar = a.row(r);
+    float* outr = out.row(r);
+    for (std::size_t c = 0; c < n; ++c) {
+      const float* br = b.row(c);
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += ar[kk] * br[kk];
+      outr[c] = acc;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- blas
+#ifdef PASSFLOW_HAS_BLAS
+extern "C" void sgemm_(const char* transa, const char* transb, const int* m,
+                       const int* n, const int* k, const float* alpha,
+                       const float* a, const int* lda, const float* b,
+                       const int* ldb, const float* beta, float* c,
+                       const int* ldc);
+
+// Row-major C = op(A) op(B) maps onto column-major C^T = op(B)^T op(A)^T:
+// a row-major (r x c) buffer read column-major is its transpose, so we hand
+// sgemm the B buffer as its first operand and swap m/n.
+void sgemm_rowmajor(char transa_cm, char transb_cm, std::size_t m,
+                    std::size_t n, std::size_t k, const float* b_cm, int ldb_cm,
+                    const float* a_cm, int lda_cm, Matrix& out) {
+  out.resize(m, n);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    out.zero();
+    return;
+  }
+  const int mi = static_cast<int>(n), ni = static_cast<int>(m),
+            ki = static_cast<int>(k), ldc = static_cast<int>(n);
+  const float alpha = 1.0f, beta = 0.0f;
+  sgemm_(&transa_cm, &transb_cm, &mi, &ni, &ki, &alpha, b_cm, &ldb_cm, a_cm,
+         &lda_cm, &beta, out.data(), &ldc);
+}
+
+void gemm_nn_blas(const Matrix& a, const Matrix& b, Matrix& out) {
+  // C^T = b^T a^T: both buffers already are the transposes when read
+  // column-major, so no trans flags.
+  sgemm_rowmajor('N', 'N', a.rows(), b.cols(), a.cols(), b.data(),
+                 static_cast<int>(b.cols()), a.data(),
+                 static_cast<int>(a.cols()), out);
+}
+
+void gemm_tn_blas(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out = a^T b with a (k x m): C^T = b^T a; a column-major view is a^T, so
+  // request its transpose.
+  sgemm_rowmajor('N', 'T', a.cols(), b.cols(), a.rows(), b.data(),
+                 static_cast<int>(b.cols()), a.data(),
+                 static_cast<int>(a.cols()), out);
+}
+
+void gemm_nt_blas(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out = a b^T with b (n x k): C^T = b a^T; b's column-major view is b^T,
+  // so request its transpose to recover b.
+  sgemm_rowmajor('T', 'N', a.rows(), b.rows(), a.cols(), b.data(),
+                 static_cast<int>(b.cols()), a.data(),
+                 static_cast<int>(a.cols()), out);
+}
+#endif  // PASSFLOW_HAS_BLAS
+
+// ---------------------------------------------------------------- backend
+#ifndef PASSFLOW_GEMM_DEFAULT
+#define PASSFLOW_GEMM_DEFAULT 1  // kBlocked
+#endif
+
+Backend sanitize(Backend be) {
+  return available(be) ? be : Backend::kBlocked;
+}
+
+Backend initial_backend() {
+  if (const char* env = std::getenv("PASSFLOW_GEMM_BACKEND")) {
+    const std::string name(env);
+    if (name != "naive" && name != "blocked" && name != "blas") {
+      std::fprintf(stderr,
+                   "passflow: unknown PASSFLOW_GEMM_BACKEND '%s' "
+                   "(expected naive|blocked|blas); using blocked\n",
+                   env);
+    }
+    return sanitize(parse_backend(name));
+  }
+  return sanitize(static_cast<Backend>(PASSFLOW_GEMM_DEFAULT));
+}
+
+std::atomic<Backend>& backend_state() {
+  static std::atomic<Backend> state{initial_backend()};
+  return state;
+}
+
+}  // namespace
+
+Backend active_backend() {
+  return backend_state().load(std::memory_order_relaxed);
+}
+
+void set_backend(Backend be) {
+  backend_state().store(sanitize(be), std::memory_order_relaxed);
+}
+
+bool available(Backend be) {
+  switch (be) {
+    case Backend::kNaive:
+    case Backend::kBlocked:
+      return true;
+    case Backend::kBlas:
+#ifdef PASSFLOW_HAS_BLAS
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* backend_name(Backend be) {
+  switch (be) {
+    case Backend::kNaive:
+      return "naive";
+    case Backend::kBlocked:
+      return "blocked";
+    case Backend::kBlas:
+      return "blas";
+  }
+  return "unknown";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "naive") return Backend::kNaive;
+  if (name == "blas") return Backend::kBlas;
+  return Backend::kBlocked;
+}
+
+void gemm_nn(Backend be, const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  switch (sanitize(be)) {
+    case Backend::kNaive:
+      gemm_nn_naive(a, b, out);
+      return;
+#ifdef PASSFLOW_HAS_BLAS
+    case Backend::kBlas:
+      gemm_nn_blas(a, b, out);
+      return;
+#endif
+    default:
+      gemm_nn_blocked(a, b, out);
+      return;
+  }
+}
+
+void gemm_tn(Backend be, const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  switch (sanitize(be)) {
+    case Backend::kNaive:
+      gemm_tn_naive(a, b, out);
+      return;
+#ifdef PASSFLOW_HAS_BLAS
+    case Backend::kBlas:
+      gemm_tn_blas(a, b, out);
+      return;
+#endif
+    default:
+      gemm_tn_blocked(a, b, out);
+      return;
+  }
+}
+
+void gemm_nt(Backend be, const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  switch (sanitize(be)) {
+    case Backend::kNaive:
+      gemm_nt_naive(a, b, out);
+      return;
+#ifdef PASSFLOW_HAS_BLAS
+    case Backend::kBlas:
+      gemm_nt_blas(a, b, out);
+      return;
+#endif
+    default:
+      gemm_nt_blocked(a, b, out);
+      return;
+  }
+}
+
+}  // namespace passflow::nn::gemm

@@ -33,32 +33,47 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
     : weight_(name + ".weight", init_weight(in_features, out_features, rng, init)),
       bias_(name + ".bias", Matrix(1, out_features)) {}
 
-Matrix Linear::apply(const Matrix& input) const {
-  Matrix out = matmul(input, weight_.value);
+void Linear::apply_into(const Matrix& input, Matrix& out) const {
+  matmul(input, weight_.value, out);
   add_row_vector(out, bias_.value);
-  return out;
 }
 
 Matrix Linear::forward(const Matrix& input) {
-  cached_input_ = input;
-  return apply(input);
+  Matrix out;
+  forward_into(input, out);
+  return out;
 }
 
-Matrix Linear::forward_inference(const Matrix& input) { return apply(input); }
+void Linear::forward_into(const Matrix& input, Matrix& out) {
+  cached_input_ = input;  // capacity-reusing copy once shapes are stable
+  apply_into(input, out);
+}
+
+Matrix Linear::forward_inference(const Matrix& input) {
+  Matrix out;
+  apply_into(input, out);
+  return out;
+}
+
+void Linear::forward_inference_into(const Matrix& input, Matrix& out) {
+  apply_into(input, out);
+}
 
 Matrix Linear::backward(const Matrix& grad_output) {
-  // dW += x^T g ; db += column_sum(g) ; dx = g W^T
-  Matrix dw;
-  matmul_tn(cached_input_, grad_output, dw);
-  add_inplace(weight_.grad, dw);
-
-  Matrix db;
-  column_sum(grad_output, db);
-  add_inplace(bias_.grad, db);
-
   Matrix dx;
-  matmul_nt(grad_output, weight_.value, dx);
+  backward_into(grad_output, dx);
   return dx;
+}
+
+void Linear::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+  // dW += x^T g ; db += column_sum(g) ; dx = g W^T
+  matmul_tn(cached_input_, grad_output, dw_ws_);
+  add_inplace(weight_.grad, dw_ws_);
+
+  column_sum(grad_output, db_ws_);
+  add_inplace(bias_.grad, db_ws_);
+
+  matmul_nt(grad_output, weight_.value, grad_input);
 }
 
 std::vector<Param*> Linear::parameters() { return {&weight_, &bias_}; }

@@ -21,6 +21,12 @@ class Linear : public Module {
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
   Matrix forward_inference(const Matrix& input) override;
+  // Allocation-free once warm; out must not alias input.
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
+  // Touches no member state, so concurrent calls on one layer are safe as
+  // long as each caller owns its `out`.
+  void forward_inference_into(const Matrix& input, Matrix& out) override;
   std::vector<Param*> parameters() override;
 
   std::size_t in_features() const { return weight_.value.rows(); }
@@ -30,11 +36,14 @@ class Linear : public Module {
   Param& bias() { return bias_; }
 
  private:
-  Matrix apply(const Matrix& input) const;
+  void apply_into(const Matrix& input, Matrix& out) const;
 
   Param weight_;  // (in x out)
   Param bias_;    // (1 x out)
   Matrix cached_input_;
+  // Training-only workspaces (dW, db); never touched on inference paths.
+  Matrix dw_ws_;
+  Matrix db_ws_;
 };
 
 }  // namespace passflow::nn

@@ -44,6 +44,20 @@ class Matrix {
   void fill(float value);
   void zero() { fill(0.0f); }
 
+  // Reshapes to rows x cols, reusing the existing allocation whenever the
+  // capacity allows (shrinking or same-size reshapes never reallocate, and
+  // repeated grow-to-the-same-shape cycles allocate once). Contents are
+  // preserved only when the shape is unchanged; after a shape-changing
+  // resize the element values are unspecified — callers that need zeros
+  // must call zero(). This is the reuse primitive behind the out-parameter
+  // kernels in ops.hpp and the layer workspaces.
+  void resize(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   // Returns a matrix containing rows [begin, end).
   Matrix slice_rows(std::size_t begin, std::size_t end) const;
   // Copies `src` into rows starting at `row_offset`.

@@ -1,5 +1,7 @@
 #include "nn/mlp.hpp"
 
+#include <utility>
+
 #include "nn/ops.hpp"
 
 namespace passflow::nn {
@@ -23,9 +25,20 @@ Mlp::Mlp(std::size_t in_features, const std::vector<std::size_t>& hidden_sizes,
 }
 
 Matrix Mlp::forward(const Matrix& input) {
-  Matrix h = input;
-  for (auto& layer : layers_) h = layer->forward(h);
-  return h;
+  Matrix out;
+  forward_into(input, out);
+  return out;
+}
+
+void Mlp::forward_into(const Matrix& input, Matrix& out) {
+  const Matrix* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& dst = (i + 1 == layers_.size())
+                      ? out
+                      : (cur == &ping_ws_ ? pong_ws_ : ping_ws_);
+    layers_[i]->forward_into(*cur, dst);
+    cur = &dst;
+  }
 }
 
 Matrix Mlp::forward_inference(const Matrix& input) {
@@ -35,11 +48,19 @@ Matrix Mlp::forward_inference(const Matrix& input) {
 }
 
 Matrix Mlp::backward(const Matrix& grad_output) {
-  Matrix g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
-  }
+  Matrix g;
+  backward_into(grad_output, g);
   return g;
+}
+
+void Mlp::backward_into(const Matrix& grad_output, Matrix& grad_input) {
+  const Matrix* cur = &grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Matrix& dst =
+        (i == 0) ? grad_input : (cur == &ping_ws_ ? pong_ws_ : ping_ws_);
+    layers_[i]->backward_into(*cur, dst);
+    cur = &dst;
+  }
 }
 
 std::vector<Param*> Mlp::parameters() {
@@ -64,33 +85,47 @@ ResNetST::ResNetST(std::size_t in_features, std::size_t hidden,
   }
 }
 
-Matrix ResNetST::trunk_forward(const Matrix& input, bool inference) {
-  Matrix h = inference ? in_proj_.forward_inference(input)
-                       : in_proj_.forward(input);
-  h = inference ? in_act_.forward_inference(h) : in_act_.forward(h);
-  for (auto& block : blocks_) {
-    h = inference ? block->forward_inference(h) : block->forward(h);
-  }
-  return h;
+ResNetST::Output ResNetST::forward(const Matrix& input) {
+  Output out;
+  forward_into(input, out.s_raw, out.t);
+  return out;
 }
 
-ResNetST::Output ResNetST::forward(const Matrix& input) {
-  const Matrix h = trunk_forward(input, /*inference=*/false);
-  return {s_head_.forward(h), t_head_.forward(h)};
+void ResNetST::forward_into(const Matrix& input, Matrix& s_raw, Matrix& t) {
+  in_proj_.forward_into(input, trunk_ws_);
+  in_act_.forward_into(trunk_ws_, trunk_ws_);
+  for (auto& block : blocks_) {
+    block->forward_into(trunk_ws_, trunk_ws2_);
+    std::swap(trunk_ws_, trunk_ws2_);
+  }
+  s_head_.forward_into(trunk_ws_, s_raw);
+  t_head_.forward_into(trunk_ws_, t);
 }
 
 ResNetST::Output ResNetST::forward_inference(const Matrix& input) {
-  const Matrix h = trunk_forward(input, /*inference=*/true);
+  Matrix h = in_proj_.forward_inference(input);
+  h = in_act_.forward_inference(h);
+  for (auto& block : blocks_) h = block->forward_inference(h);
   return {s_head_.forward_inference(h), t_head_.forward_inference(h)};
 }
 
 Matrix ResNetST::backward(const Matrix& grad_s_raw, const Matrix& grad_t) {
-  Matrix grad_h = s_head_.backward(grad_s_raw);
-  add_inplace(grad_h, t_head_.backward(grad_t));
+  Matrix grad_input;
+  backward_into(grad_s_raw, grad_t, grad_input);
+  return grad_input;
+}
+
+void ResNetST::backward_into(const Matrix& grad_s_raw, const Matrix& grad_t,
+                             Matrix& grad_input) {
+  s_head_.backward_into(grad_s_raw, trunk_ws_);
+  t_head_.backward_into(grad_t, trunk_ws2_);
+  add_inplace(trunk_ws_, trunk_ws2_);
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
-    grad_h = (*it)->backward(grad_h);
+    (*it)->backward_into(trunk_ws_, trunk_ws2_);
+    std::swap(trunk_ws_, trunk_ws2_);
   }
-  return in_proj_.backward(in_act_.backward(grad_h));
+  in_act_.backward_into(trunk_ws_, trunk_ws_);
+  in_proj_.backward_into(trunk_ws_, grad_input);
 }
 
 std::vector<Param*> ResNetST::parameters() {

@@ -25,10 +25,16 @@ class Mlp : public Module {
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
   Matrix forward_inference(const Matrix& input) override;
+  // Allocation-free training variants: activations ping-pong between two
+  // member buffers. out/grad_input must not alias the input.
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
   std::vector<Param*> parameters() override;
 
  private:
   std::vector<std::unique_ptr<Module>> layers_;
+  Matrix ping_ws_;  // training-only inter-layer scratch
+  Matrix pong_ws_;
 };
 
 // Shared-trunk network producing the coupling layer's scale and translation:
@@ -52,21 +58,29 @@ class ResNetST {
   };
 
   Output forward(const Matrix& input);
+  // Training forward writing into caller buffers; allocation-free once warm
+  // (trunk activations live in member workspaces). Outputs must not alias
+  // the input or each other.
+  void forward_into(const Matrix& input, Matrix& s_raw, Matrix& t);
+  // Inference keeps per-call locals so concurrent calls on one net (via
+  // AffineCoupling's const inference paths) stay safe.
   Output forward_inference(const Matrix& input);
 
   // Backward for the two heads; returns dL/d(input).
   Matrix backward(const Matrix& grad_s_raw, const Matrix& grad_t);
+  void backward_into(const Matrix& grad_s_raw, const Matrix& grad_t,
+                     Matrix& grad_input);
 
   std::vector<Param*> parameters();
 
  private:
-  Matrix trunk_forward(const Matrix& input, bool inference);
-
   Linear in_proj_;
   Activation in_act_;
   std::vector<std::unique_ptr<ResidualBlock>> blocks_;
   Linear s_head_;
   Linear t_head_;
+  Matrix trunk_ws_;  // training-only trunk activation ping-pong
+  Matrix trunk_ws2_;
 };
 
 }  // namespace passflow::nn

@@ -43,6 +43,22 @@ class Module {
     return forward(input);
   }
 
+  // Out-parameter variants. The result is written into the caller's matrix,
+  // reusing its storage when the shape already matches (Matrix::resize), so
+  // steady-state training loops stop allocating. `out`/`grad_input` must
+  // not alias the input unless the layer is purely elementwise (Activation
+  // documents aliasing support). Defaults fall back to the returning forms;
+  // layers on the training hot path override with allocation-free bodies.
+  virtual void forward_into(const Matrix& input, Matrix& out) {
+    out = forward(input);
+  }
+  virtual void backward_into(const Matrix& grad_output, Matrix& grad_input) {
+    grad_input = backward(grad_output);
+  }
+  virtual void forward_inference_into(const Matrix& input, Matrix& out) {
+    out = forward_inference(input);
+  }
+
   // Flat list of learnable parameters (owned by the module).
   virtual std::vector<Param*> parameters() = 0;
 

@@ -3,23 +3,17 @@
 #include <cassert>
 #include <cstddef>
 
+#include "nn/gemm.hpp"
+
 namespace passflow::nn {
+
+// The three matmul flavors dispatch through the pluggable backend layer
+// (nn/gemm.hpp). The out-parameter overloads reuse `out`'s storage via
+// Matrix::resize, so steady-state training performs no GEMM allocations.
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  out = Matrix(m, n);
-  const float* bd = b.data();
-#pragma omp parallel for schedule(static) if (m * n * k > 16384)
-  for (std::size_t r = 0; r < m; ++r) {
-    const float* ar = a.row(r);
-    float* outr = out.row(r);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = ar[kk];
-      const float* br = bd + kk * n;
-      for (std::size_t c = 0; c < n; ++c) outr[c] += av * br[c];
-    }
-  }
+  gemm::gemm_nn(gemm::active_backend(), a, b, out);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -30,99 +24,100 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 
 void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.rows() == b.rows());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  out = Matrix(m, n);
-  // out(r,c) = sum_kk a(kk,r) * b(kk,c). Parallelize over output rows;
-  // each thread walks both inputs row-wise so access stays sequential.
-#pragma omp parallel for schedule(static) if (m * n * k > 16384)
-  for (std::size_t r = 0; r < m; ++r) {
-    float* outr = out.row(r);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = a(kk, r);
-      const float* br = b.row(kk);
-      for (std::size_t c = 0; c < n; ++c) outr[c] += av * br[c];
-    }
-  }
+  gemm::gemm_tn(gemm::active_backend(), a, b, out);
 }
 
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  out = Matrix(m, n);
-#pragma omp parallel for schedule(static) if (m * n * k > 16384)
-  for (std::size_t r = 0; r < m; ++r) {
-    const float* ar = a.row(r);
-    float* outr = out.row(r);
-    for (std::size_t c = 0; c < n; ++c) {
-      const float* br = b.row(c);
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += ar[kk] * br[kk];
-      outr[c] = acc;
-    }
-  }
+  gemm::gemm_nt(gemm::active_backend(), a, b, out);
 }
+
+// Elementwise kernels run between every GEMM of every layer; `#pragma omp
+// simd` keeps them vectorized even at -O2 and with the strict-aliasing
+// noise of the Matrix accessors hoisted out.
 
 void add_inplace(Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   float* ad = a.data();
   const float* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] += bd[i];
+  const std::size_t size = a.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < size; ++i) ad[i] += bd[i];
 }
 
 void sub_inplace(Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   float* ad = a.data();
   const float* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] -= bd[i];
+  const std::size_t size = a.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < size; ++i) ad[i] -= bd[i];
 }
 
 void hadamard_inplace(Matrix& a, const Matrix& b) {
   assert(a.same_shape(b));
   float* ad = a.data();
   const float* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] *= bd[i];
+  const std::size_t size = a.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < size; ++i) ad[i] *= bd[i];
 }
 
 void scale_inplace(Matrix& a, float s) {
   float* ad = a.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] *= s;
+  const std::size_t size = a.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < size; ++i) ad[i] *= s;
 }
 
 void axpy_inplace(Matrix& a, float s, const Matrix& b) {
   assert(a.same_shape(b));
   float* ad = a.data();
   const float* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] += s * bd[i];
+  const std::size_t size = a.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < size; ++i) ad[i] += s * bd[i];
 }
 
 void add_row_vector(Matrix& a, const Matrix& row) {
   assert(row.rows() == 1 && row.cols() == a.cols());
   const float* rd = row.data();
+  const std::size_t cols = a.cols();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     float* ar = a.row(r);
-    for (std::size_t c = 0; c < a.cols(); ++c) ar[c] += rd[c];
+#pragma omp simd
+    for (std::size_t c = 0; c < cols; ++c) ar[c] += rd[c];
   }
 }
 
 void column_sum(const Matrix& a, Matrix& out) {
-  out = Matrix(1, a.cols());
+  out.resize(1, a.cols());
+  out.zero();
   float* od = out.data();
+  const std::size_t cols = a.cols();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const float* ar = a.row(r);
-    for (std::size_t c = 0; c < a.cols(); ++c) od[c] += ar[c];
+#pragma omp simd
+    for (std::size_t c = 0; c < cols; ++c) od[c] += ar[c];
   }
 }
 
 double sum(const Matrix& a) {
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  const float* ad = a.data();
+  const std::size_t size = a.size();
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < size; ++i) acc += ad[i];
   return acc;
 }
 
 double squared_sum(const Matrix& a) {
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a.data()[i]) * a.data()[i];
+  const float* ad = a.data();
+  const std::size_t size = a.size();
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < size; ++i) {
+    acc += static_cast<double>(ad[i]) * ad[i];
   }
   return acc;
 }

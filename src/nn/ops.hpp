@@ -1,9 +1,12 @@
 // Matrix kernels used by the layers: GEMM variants and elementwise helpers.
 //
-// The GEMMs are OpenMP-parallel over output rows with a k-inner layout that
-// the compiler auto-vectorizes; at the sizes PassFlow uses (batch <= 4096,
-// hidden <= 512) this is within a small factor of a tuned BLAS and keeps the
-// repository dependency-free.
+// The GEMMs dispatch through the pluggable backend layer in nn/gemm.hpp
+// (naive reference loop, cache-blocked/register-tiled kernel, or vendor
+// BLAS — selected at configure time via -DPASSFLOW_GEMM_BACKEND and
+// overridable at runtime). The out-parameter overloads reuse `out`'s
+// storage when its capacity allows, so steady-state training does not
+// touch the allocator; `out` must not alias an input. Elementwise helpers
+// are `#pragma omp simd`-vectorized.
 #pragma once
 
 #include "nn/matrix.hpp"

@@ -11,9 +11,16 @@ ResidualBlock::ResidualBlock(std::size_t features, util::Rng& rng,
       fc2_(features, features, rng, Init::kHe, name + ".fc2") {}
 
 Matrix ResidualBlock::forward(const Matrix& input) {
-  Matrix h = fc2_.forward(act_.forward(fc1_.forward(input)));
-  add_inplace(h, input);  // skip connection
-  return h;
+  Matrix out;
+  forward_into(input, out);
+  return out;
+}
+
+void ResidualBlock::forward_into(const Matrix& input, Matrix& out) {
+  fc1_.forward_into(input, hidden_ws_);
+  act_.forward_into(hidden_ws_, hidden_ws_);  // elementwise: in-place is fine
+  fc2_.forward_into(hidden_ws_, out);
+  add_inplace(out, input);  // skip connection
 }
 
 Matrix ResidualBlock::forward_inference(const Matrix& input) {
@@ -24,9 +31,17 @@ Matrix ResidualBlock::forward_inference(const Matrix& input) {
 }
 
 Matrix ResidualBlock::backward(const Matrix& grad_output) {
-  Matrix dx = fc1_.backward(act_.backward(fc2_.backward(grad_output)));
-  add_inplace(dx, grad_output);  // gradient through the skip connection
+  Matrix dx;
+  backward_into(grad_output, dx);
   return dx;
+}
+
+void ResidualBlock::backward_into(const Matrix& grad_output,
+                                  Matrix& grad_input) {
+  fc2_.backward_into(grad_output, hidden_ws_);
+  act_.backward_into(hidden_ws_, hidden_ws_);
+  fc1_.backward_into(hidden_ws_, grad_input);
+  add_inplace(grad_input, grad_output);  // gradient through the skip
 }
 
 std::vector<Param*> ResidualBlock::parameters() {

@@ -19,12 +19,18 @@ class ResidualBlock : public Module {
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
   Matrix forward_inference(const Matrix& input) override;
+  // Allocation-free training variants (member workspaces); out/grad_input
+  // must not alias the input. Inference stays workspace-free so concurrent
+  // forward_inference calls on one block remain safe.
+  void forward_into(const Matrix& input, Matrix& out) override;
+  void backward_into(const Matrix& grad_output, Matrix& grad_input) override;
   std::vector<Param*> parameters() override;
 
  private:
   Linear fc1_;
   Activation act_;
   Linear fc2_;
+  Matrix hidden_ws_;  // training-only scratch for the fc1/act output
 };
 
 }  // namespace passflow::nn
