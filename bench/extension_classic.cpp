@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = pf::bench::scale_from_flags(flags);
 
   BenchEnv env(scale);
-  pf::guessing::Matcher matcher(env.split.test_unique);
+  pf::guessing::HashSetMatcher matcher(env.split.test_unique);
   const std::vector<std::string> flow_train = env.flow_train_subset(scale);
 
   struct Row {

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   scale.epochs = std::min<std::size_t>(scale.epochs, 20);
 
   BenchEnv env(scale);
-  pf::guessing::Matcher matcher(env.split.test_unique);
+  pf::guessing::HashSetMatcher matcher(env.split.test_unique);
 
   // Paper ratios relative to the 50K baseline.
   const std::size_t base = std::max<std::size_t>(

@@ -173,7 +173,7 @@ void BM_GuessingHarness(benchmark::State& state) {
   pf::guessing::StaticSampler warmup(model, encoder, warmup_config);
   std::vector<std::string> targets;
   warmup.generate(4096, targets);
-  pf::guessing::Matcher matcher(targets);
+  pf::guessing::HashSetMatcher matcher(targets);
 
   for (auto _ : state) {
     pf::guessing::StaticSamplerConfig config;

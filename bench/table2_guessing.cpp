@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                     static_cast<long long>(scale.flow_train_divisor)));
 
   BenchEnv env(scale);
-  pf::guessing::Matcher matcher(env.split.test_unique);
+  pf::guessing::HashSetMatcher matcher(env.split.test_unique);
 
   const std::vector<std::string> flow_train = env.flow_train_subset(scale);
   PF_LOG_INFO << "flow train subset: " << flow_train.size()

@@ -1,17 +1,26 @@
 // Full attack pipeline: train PassFlow on a leaked subset and run the
 // Dynamic Sampling + Gaussian Smoothing attack against a held-out target set
-// — the paper's headline experiment as a single CLI.
+// — the paper's headline experiment as a single CLI, driven through the
+// streaming AttackSession engine.
 //
 //   ./examples/train_and_attack [--guesses 100000] [--epochs 10]
 //                               [--train-size 10000] [--strategy dynamic+gs]
+//                               [--pipeline 4] [--sketch-unique false]
+//                               [--state attack.state]
 //
-// Strategies: static | dynamic | dynamic+gs (Table II rows).
+// Strategies: static | dynamic | dynamic+gs (Table II rows). --pipeline N
+// keeps N chunks in flight (feedback-free strategies only; dynamic runs
+// serially by construction). --sketch-unique bounds unique-tracking memory
+// with the HLL sketch. --state freezes the session after every progress
+// report and resumes from the file if it exists, so a long attack survives
+// a restart (static strategy only — re-run with the same flags).
 #include <cstdio>
+#include <fstream>
 
 #include "data/synthetic_rockyou.hpp"
 #include "flow/trainer.hpp"
 #include "guessing/dynamic_sampler.hpp"
-#include "guessing/harness.hpp"
+#include "guessing/session.hpp"
 #include "guessing/static_sampler.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
@@ -27,6 +36,10 @@ int main(int argc, char** argv) {
   const auto train_size =
       static_cast<std::size_t>(flags.get_int("train-size", 10000));
   const std::string strategy = flags.get_string("strategy", "dynamic+gs");
+  const auto pipeline_depth =
+      static_cast<std::size_t>(flags.get_int("pipeline", 4));
+  const bool sketch_unique = flags.get_bool("sketch-unique", false);
+  const std::string state_path = flags.get_string("state", "");
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
 
   // Leak simulation: the attacker holds a subsample of one breach and
@@ -55,16 +68,47 @@ int main(int argc, char** argv) {
   std::printf("trained in %s\n",
               pf::util::format_duration(timer.elapsed_seconds()).c_str());
 
-  pf::guessing::Matcher matcher(split.test_unique);
-  pf::guessing::HarnessConfig harness;
-  harness.budget = guesses;
-  harness.log_progress = true;
-  harness.chunk_size = 4096;
+  pf::guessing::HashSetMatcher matcher(split.test_unique);
+  pf::guessing::SessionConfig session_config;
+  session_config.budget = guesses;
+  session_config.log_progress = true;
+  session_config.chunk_size = 4096;
+  session_config.pipeline_depth = pipeline_depth;
+  session_config.unique_tracking = sketch_unique
+                                       ? pf::guessing::UniqueTracking::kSketch
+                                       : pf::guessing::UniqueTracking::kExact;
+
+  // Drive the session in ~10 slices so progress (and, with --state, a
+  // restart point) lands between them rather than only at the end.
+  const auto attack = [&](pf::guessing::GuessGenerator& sampler) {
+    pf::guessing::AttackSession session(sampler, matcher, session_config);
+    if (!state_path.empty()) {
+      std::ifstream saved(state_path, std::ios::binary);
+      if (saved.good()) {
+        session.load_state(saved);
+        std::printf("resumed from %s at %zu guesses\n", state_path.c_str(),
+                    session.stats().produced);
+      }
+    }
+    const std::size_t slice = std::max<std::size_t>(guesses / 10, 1);
+    while (!session.finished()) {
+      const auto& stats = session.run_until(session.stats().produced + slice);
+      std::printf("  ... %zu guesses, %zu matched, %.0f guesses/s\n",
+                  stats.produced, stats.matched, stats.guesses_per_second);
+      if (!state_path.empty() &&
+          sampler.supports_state_serialization() && !session.finished()) {
+        std::ofstream out(state_path, std::ios::binary | std::ios::trunc);
+        session.save_state(out);
+      }
+    }
+    if (!state_path.empty()) std::remove(state_path.c_str());
+    return session.result();
+  };
 
   pf::guessing::RunResult result;
   if (strategy == "static") {
     pf::guessing::StaticSampler sampler(model, encoder);
-    result = run_guessing(sampler, matcher, harness);
+    result = attack(sampler);
   } else {
     auto sampler_config = pf::guessing::table1_parameters(guesses);
     sampler_config.smoothing.enabled = (strategy == "dynamic+gs");
@@ -73,7 +117,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     pf::guessing::DynamicSampler sampler(model, encoder, sampler_config);
-    result = run_guessing(sampler, matcher, harness);
+    result = attack(sampler);
   }
 
   std::printf("\n=== attack summary (%s) ===\n", strategy.c_str());

@@ -5,6 +5,7 @@
 
 #include "nn/ops.hpp"
 #include "util/logging.hpp"
+#include "util/serial_io.hpp"
 
 namespace passflow::baselines {
 
@@ -197,5 +198,10 @@ void CwaeSampler::generate(std::size_t n, std::vector<std::string>& out) {
     produced += count;
   }
 }
+
+
+void CwaeSampler::save_state(std::ostream& out) const { rng_.save(out); }
+
+void CwaeSampler::load_state(std::istream& in) { rng_.load(in); }
 
 }  // namespace passflow::baselines

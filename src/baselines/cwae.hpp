@@ -70,6 +70,10 @@ class CwaeSampler : public guessing::GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override { return "CWAE"; }
 
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   Cwae* model_;
   const data::Encoder* encoder_;

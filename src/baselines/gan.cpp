@@ -5,6 +5,7 @@
 
 #include "nn/ops.hpp"
 #include "util/logging.hpp"
+#include "util/serial_io.hpp"
 
 namespace passflow::baselines {
 
@@ -193,5 +194,10 @@ void GanSampler::generate(std::size_t n, std::vector<std::string>& out) {
     produced += count;
   }
 }
+
+
+void GanSampler::save_state(std::ostream& out) const { rng_.save(out); }
+
+void GanSampler::load_state(std::istream& in) { rng_.load(in); }
 
 }  // namespace passflow::baselines

@@ -79,6 +79,10 @@ class GanSampler : public guessing::GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override { return model_->config().label; }
 
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   Gan* model_;
   const data::Encoder* encoder_;

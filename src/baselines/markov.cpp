@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "util/serial_io.hpp"
 
 namespace passflow::baselines {
 
@@ -113,5 +114,10 @@ void MarkovSampler::generate(std::size_t n, std::vector<std::string>& out) {
 std::string MarkovSampler::name() const {
   return "Markov-" + std::to_string(model_->order());
 }
+
+
+void MarkovSampler::save_state(std::ostream& out) const { rng_.save(out); }
+
+void MarkovSampler::load_state(std::istream& in) { rng_.load(in); }
 
 }  // namespace passflow::baselines

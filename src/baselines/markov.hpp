@@ -58,6 +58,10 @@ class MarkovSampler : public guessing::GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override;
 
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   const MarkovModel* model_;
   util::Rng rng_;

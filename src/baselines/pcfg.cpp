@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 #include <stdexcept>
+#include "util/serial_io.hpp"
 
 namespace passflow::baselines {
 
@@ -267,6 +268,21 @@ void PcfgEnumerator::generate(std::size_t n, std::vector<std::string>& out) {
       out.push_back("");
     }
   }
+}
+
+
+void PcfgSampler::save_state(std::ostream& out) const { rng_.save(out); }
+
+void PcfgSampler::load_state(std::istream& in) { rng_.load(in); }
+
+void PcfgEnumerator::save_state(std::ostream& out) const {
+  util::io::write_u64(out, cursor_);
+}
+
+void PcfgEnumerator::load_state(std::istream& in) {
+  cursor_ = util::io::read_u64(in);
+  // The buffer re-derives lazily; generate() re-enumerates past the cursor.
+  buffer_.clear();
 }
 
 }  // namespace passflow::baselines

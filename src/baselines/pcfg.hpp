@@ -94,6 +94,10 @@ class PcfgSampler : public guessing::GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override { return "PCFG (Weir et al.)"; }
 
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   const PcfgModel* model_;
   util::Rng rng_;
@@ -107,6 +111,12 @@ class PcfgEnumerator : public guessing::GuessGenerator {
 
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override { return "PCFG-enum (Weir et al.)"; }
+
+  // The enumeration stream is deterministic; the cursor is the state (the
+  // buffer re-derives from the grammar on demand).
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   const PcfgModel* model_;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <unordered_map>
+#include "util/serial_io.hpp"
 
 namespace passflow::baselines {
 
@@ -150,6 +151,15 @@ std::vector<std::string> wordlist_from_corpus(
     wordlist.push_back(word);
   }
   return wordlist;
+}
+
+
+void RuleEngine::save_state(std::ostream& out) const {
+  util::io::write_u64(out, cursor_);
+}
+
+void RuleEngine::load_state(std::istream& in) {
+  cursor_ = util::io::read_u64(in);
 }
 
 }  // namespace passflow::baselines

@@ -49,6 +49,12 @@ class RuleEngine : public guessing::GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override { return "Rules (HashCat-style)"; }
 
+  // Rule-major/word-minor iteration is deterministic; the cursor is the
+  // whole stream state.
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   // Total candidates before exhaustion (rules x words).
   std::size_t capacity() const { return wordlist_.size() * rules_.size(); }
   bool exhausted() const { return cursor_ >= capacity(); }

@@ -5,6 +5,8 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "util/serial_io.hpp"
+
 namespace passflow::guessing {
 
 DynamicSamplerConfig table1_parameters(std::size_t guess_budget) {
@@ -161,6 +163,40 @@ std::string DynamicSampler::name() const {
                                      : "PassFlow-Dynamic-nophi";
   if (config_.smoothing.enabled) base += "+GS";
   return base;
+}
+
+void DynamicSampler::save_state(std::ostream& out) const {
+  rng_.save(out);
+  util::io::write_u64(out, components_.size());
+  for (const Component& c : components_) {
+    util::io::write_u64(out, c.age);
+    util::io::write_f32_vec(out, c.latent);
+  }
+  util::io::write_u64(out, last_batch_latents_.rows());
+  util::io::write_u64(out, last_batch_latents_.cols());
+  out.write(reinterpret_cast<const char*>(last_batch_latents_.data()),
+            static_cast<std::streamsize>(last_batch_latents_.size() *
+                                         sizeof(float)));
+  if (!out) throw std::runtime_error("DynamicSampler state write failed");
+}
+
+void DynamicSampler::load_state(std::istream& in) {
+  rng_.load(in);
+  const std::uint64_t component_count = util::io::read_u64(in);
+  components_.clear();
+  for (std::uint64_t i = 0; i < component_count; ++i) {
+    Component c;
+    c.age = util::io::read_u64(in);
+    c.latent = util::io::read_f32_vec(in);
+    components_.push_back(std::move(c));
+  }
+  const std::uint64_t rows = util::io::read_u64(in);
+  const std::uint64_t cols = util::io::read_u64(in);
+  last_batch_latents_ = nn::Matrix(rows, cols);
+  in.read(reinterpret_cast<char*>(last_batch_latents_.data()),
+          static_cast<std::streamsize>(last_batch_latents_.size() *
+                                       sizeof(float)));
+  if (!in) throw std::runtime_error("DynamicSampler state truncated");
 }
 
 }  // namespace passflow::guessing

@@ -72,6 +72,12 @@ class DynamicSampler : public GuessGenerator {
   bool uses_match_feedback() const override { return true; }
   std::string name() const override;
 
+  // Full mixture state (RNG, components with ages, last-batch latents), so
+  // a resumed Algorithm-1 run continues its conditioned prior exactly.
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   // Introspection for tests and the Fig. 5 bench.
   std::size_t match_count() const { return components_.size(); }
   std::size_t active_component_count() const;

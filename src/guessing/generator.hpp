@@ -6,6 +6,8 @@
 // Dynamic Sampling, Algorithm 1) receive it through on_match().
 #pragma once
 
+#include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,27 @@ class GuessGenerator {
 
   // Human-readable name used in tables.
   virtual std::string name() const = 0;
+
+  // --- Stream state serialization (AttackSession save/resume) -------------
+  //
+  // Generators that can checkpoint their stream override these three. The
+  // contract: load_state() on a freshly constructed generator with the
+  // same configuration must continue the guess stream bit-for-bit where
+  // save_state() left it. Most samplers only need to persist their RNG
+  // (util::Rng::save/load); enumerators persist a cursor.
+  virtual bool supports_state_serialization() const { return false; }
+
+  virtual void save_state(std::ostream& out) const {
+    (void)out;
+    throw std::logic_error("generator '" + name() +
+                           "' does not support state serialization");
+  }
+
+  virtual void load_state(std::istream& in) {
+    (void)in;
+    throw std::logic_error("generator '" + name() +
+                           "' does not support state serialization");
+  }
 };
 
 }  // namespace passflow::guessing

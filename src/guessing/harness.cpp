@@ -1,187 +1,23 @@
 #include "guessing/harness.hpp"
 
-#include <algorithm>
-#include <future>
-#include <unordered_set>
-
-#include "util/logging.hpp"
-#include "util/timer.hpp"
-
 namespace passflow::guessing {
-
-namespace {
-
-// Below this chunk size the hash probes are too cheap to farm out.
-constexpr std::size_t kParallelMatchThreshold = 1024;
-
-}  // namespace
 
 RunResult run_guessing(GuessGenerator& generator, const Matcher& matcher,
                        HarnessConfig config) {
-  if (config.checkpoints.empty()) {
-    config.checkpoints = power_of_ten_checkpoints(config.budget);
-  }
-  std::sort(config.checkpoints.begin(), config.checkpoints.end());
+  SessionConfig session_config;
+  session_config.budget = config.budget;
+  session_config.checkpoints = std::move(config.checkpoints);
+  session_config.chunk_size = config.chunk_size;
+  session_config.non_matched_samples = config.non_matched_samples;
+  session_config.unique_tracking =
+      config.track_unique ? UniqueTracking::kExact : UniqueTracking::kOff;
+  session_config.log_progress = config.log_progress;
+  session_config.pool = config.pool;
+  session_config.pipeline_depth = config.overlap_generation ? 1 : 0;
 
-  util::Timer timer;
-  RunResult result;
-  std::unordered_set<std::string> unique_guesses;
-  std::unordered_set<std::string> matched_set;
-  std::unordered_set<std::string> non_matched_seen;
-
-  std::size_t produced = 0;
-  std::size_t checkpoint_index = 0;
-
-  // Feedback-driven generators (Algorithm 1) must see each chunk's matches
-  // before producing the next chunk, so generation cannot run ahead.
-  const bool overlap =
-      config.overlap_generation && !generator.uses_match_feedback();
-
-  // membership[i] for the current batch, precomputed across pool workers.
-  // Plain chars (not vector<bool>) so concurrent writes to distinct
-  // indices are race-free.
-  std::vector<char> membership;
-  const auto precompute_membership =
-      [&](const std::vector<std::string>& batch) {
-        const bool parallel = config.pool != nullptr &&
-                              config.pool->size() > 1 &&
-                              batch.size() >= kParallelMatchThreshold;
-        if (!parallel) return false;
-        membership.assign(batch.size(), 0);
-        config.pool->parallel_for(batch.size(), [&](std::size_t i) {
-          membership[i] = matcher.contains(batch[i]) ? 1 : 0;
-        });
-        return true;
-      };
-
-  // Order-sensitive bookkeeping for one batch; always runs on this thread.
-  const auto consume_batch = [&](const std::vector<std::string>& batch) {
-    const bool have_membership = precompute_membership(batch);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::string& guess = batch[i];
-      if (config.track_unique) unique_guesses.insert(guess);
-      const bool hit =
-          have_membership ? membership[i] != 0 : matcher.contains(guess);
-      if (hit) {
-        if (matched_set.insert(guess).second) {
-          result.matched_passwords.push_back(guess);
-          // In overlap mode the generator may be producing the next chunk
-          // on the background thread right now; it declared feedback
-          // unused, so the callback is skipped rather than raced.
-          if (!overlap) generator.on_match(i, guess);
-        }
-      } else if (result.sample_non_matched.size() <
-                     config.non_matched_samples &&
-                 !guess.empty() && non_matched_seen.insert(guess).second) {
-        result.sample_non_matched.push_back(guess);
-      }
-    }
-    produced += batch.size();
-  };
-
-  // Captured before any background generate() can start: name() is not
-  // covered by the uses_match_feedback() contract, so calling it while the
-  // producer thread runs would race on generators that derive their name
-  // from mutable state.
-  const std::string generator_name = config.log_progress ? generator.name() : "";
-
-  const auto emit_due_checkpoints = [&] {
-    while (checkpoint_index < config.checkpoints.size() &&
-           produced >= config.checkpoints[checkpoint_index]) {
-      Checkpoint cp;
-      cp.guesses = config.checkpoints[checkpoint_index];
-      cp.unique = unique_guesses.size();
-      cp.matched = matched_set.size();
-      cp.matched_percent =
-          matcher.test_set_size() > 0
-              ? 100.0 * static_cast<double>(cp.matched) /
-                    static_cast<double>(matcher.test_set_size())
-              : 0.0;
-      result.checkpoints.push_back(cp);
-      ++checkpoint_index;
-      if (config.log_progress) {
-        PF_LOG_INFO << generator_name << ": " << cp.guesses << " guesses, "
-                    << cp.matched << " matched (" << cp.matched_percent
-                    << "%), " << cp.unique << " unique";
-      }
-    }
-  };
-
-  if (overlap) {
-    // Chunk request sizes are a pure function of budget/checkpoints/
-    // chunk_size (generate() appends exactly n), so the whole schedule can
-    // be fixed up front and generation pipelined one chunk ahead of
-    // matching. The generate() call order is exactly the sequential one.
-    std::vector<std::size_t> schedule;
-    {
-      std::size_t planned = 0;
-      std::size_t ci = 0;
-      while (planned < config.budget) {
-        const std::size_t next_stop = ci < config.checkpoints.size()
-                                          ? config.checkpoints[ci]
-                                          : config.budget;
-        const std::size_t chunk =
-            std::min(config.chunk_size, next_stop - planned);
-        schedule.push_back(chunk);
-        planned += chunk;
-        while (ci < config.checkpoints.size() &&
-               planned >= config.checkpoints[ci]) {
-          ++ci;
-        }
-      }
-    }
-
-    const auto produce = [&generator](std::size_t n) {
-      std::vector<std::string> batch;
-      batch.reserve(n);
-      generator.generate(n, batch);
-      return batch;
-    };
-
-    std::future<std::vector<std::string>> pending;
-    for (std::size_t c = 0; c < schedule.size(); ++c) {
-      std::vector<std::string> batch =
-          c == 0 ? produce(schedule[0]) : pending.get();
-      if (c + 1 < schedule.size()) {
-        pending =
-            std::async(std::launch::async, produce, schedule[c + 1]);
-      }
-      consume_batch(batch);
-      emit_due_checkpoints();
-    }
-  } else {
-    std::vector<std::string> batch;
-    while (produced < config.budget) {
-      const std::size_t next_stop =
-          checkpoint_index < config.checkpoints.size()
-              ? config.checkpoints[checkpoint_index]
-              : config.budget;
-      const std::size_t chunk =
-          std::min(config.chunk_size, next_stop - produced);
-
-      batch.clear();
-      generator.generate(chunk, batch);
-      consume_batch(batch);
-      emit_due_checkpoints();
-    }
-  }
-
-  if (result.checkpoints.empty() ||
-      result.checkpoints.back().guesses != produced) {
-    Checkpoint cp;
-    cp.guesses = produced;
-    cp.unique = unique_guesses.size();
-    cp.matched = matched_set.size();
-    cp.matched_percent =
-        matcher.test_set_size() > 0
-            ? 100.0 * static_cast<double>(cp.matched) /
-                  static_cast<double>(matcher.test_set_size())
-            : 0.0;
-    result.checkpoints.push_back(cp);
-  }
-
-  result.seconds = timer.elapsed_seconds();
-  return result;
+  AttackSession session(generator, matcher, std::move(session_config));
+  session.run();
+  return session.result();
 }
 
 }  // namespace passflow::guessing

@@ -1,11 +1,19 @@
-// Guessing-run harness: drives any GuessGenerator against a Matcher and
-// records the metrics the paper's tables report (matched %, unique count,
-// non-matched samples) at power-of-ten checkpoints.
+// Compatibility wrapper over the AttackSession engine (session.hpp).
+//
+// run_guessing() is the original one-shot evaluation entry point: drive any
+// GuessGenerator against a Matcher and record the metrics the paper's
+// tables report (matched %, unique count, non-matched samples) at
+// power-of-ten checkpoints. It now constructs an AttackSession under the
+// hood and produces bitwise-identical metrics to the historical loop; new
+// code that wants incremental progress, deeper pipelining, sharded
+// matching, sketch-based unique tracking or save/resume should use
+// AttackSession directly.
 #pragma once
 
 #include "guessing/generator.hpp"
 #include "guessing/matcher.hpp"
 #include "guessing/metrics.hpp"
+#include "guessing/session.hpp"
 #include "util/thread_pool.hpp"
 
 namespace passflow::guessing {
@@ -17,26 +25,22 @@ struct HarnessConfig {
   std::size_t non_matched_samples = 40;  // reservoir for Table IV
   bool track_unique = true;           // disable to save memory on huge runs
   bool log_progress = false;
-  // Non-owning worker pool. When set, matcher.contains() for a chunk is
-  // precomputed across workers before the (order-sensitive) bookkeeping
-  // runs serially, so every metric is identical to a serial run.
+  // Non-owning worker pool for bulk matching (and tracker shards).
   util::ThreadPool* pool = nullptr;
   // Producer/consumer mode: generate chunk k+1 on a background thread
-  // while chunk k is being matched. Only engages for generators whose
-  // uses_match_feedback() is false (for others, matching chunk k must
-  // complete — including on_match callbacks — before chunk k+1 may be
-  // generated, so the harness silently stays sequential). Because the
-  // chunk schedule and the generate() call order are unchanged, metrics
-  // are bitwise identical to a serial run.
+  // while chunk k is being matched (SessionConfig::pipeline_depth = 1).
+  // Only engages for generators whose uses_match_feedback() is false; for
+  // others the run silently stays sequential, and metrics are bitwise
+  // identical either way. Note: when the overlap engages, on_match() is
+  // not invoked at all — the generator has declared it ignores feedback,
+  // and the calls would otherwise race with the background generate().
   bool overlap_generation = false;
 };
 
 // Runs the full loop: generate -> match -> feed matches back -> checkpoint.
 // A "match" is counted once per distinct test-set password (re-guessing an
 // already matched password does not count again), mirroring |P| in
-// Algorithm 1. Note: when overlap_generation engages, on_match() is not
-// invoked at all — the generator has declared it ignores feedback, and the
-// calls would otherwise race with the background generate().
+// Algorithm 1.
 RunResult run_guessing(GuessGenerator& generator, const Matcher& matcher,
                        HarnessConfig config);
 

@@ -1,8 +1,87 @@
 #include "guessing/matcher.hpp"
 
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
 namespace passflow::guessing {
 
-Matcher::Matcher(const std::vector<std::string>& test_set)
+void Matcher::contains_batch(const std::vector<std::string>& batch,
+                             util::ThreadPool* pool,
+                             std::vector<char>& out) const {
+  // Plain chars (not vector<bool>) so concurrent writes to distinct
+  // indices are race-free.
+  out.assign(batch.size(), 0);
+  const bool parallel = pool != nullptr && pool->size() > 1 &&
+                        batch.size() >= kParallelBatchThreshold;
+  if (parallel) {
+    pool->parallel_for(batch.size(), [&](std::size_t i) {
+      out[i] = contains(batch[i]) ? 1 : 0;
+    });
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i] = contains(batch[i]) ? 1 : 0;
+    }
+  }
+}
+
+HashSetMatcher::HashSetMatcher(const std::vector<std::string>& test_set)
     : test_set_(test_set.begin(), test_set.end()) {}
+
+ShardedMatcher::ShardedMatcher(const std::vector<std::string>& test_set,
+                               std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedMatcher needs at least one shard");
+  }
+  shards_.resize(num_shards);
+  for (const std::string& password : test_set) {
+    if (shards_[shard_of(password)].insert(password).second) ++size_;
+  }
+}
+
+std::size_t ShardedMatcher::shard_of(const std::string& password) const {
+  // util::hash64, not std::hash: the shard assignment must be stable
+  // across standard libraries (and decorrelated from the shard sets' own
+  // internal hashing).
+  return static_cast<std::size_t>(util::hash64(password) % shards_.size());
+}
+
+bool ShardedMatcher::contains(const std::string& password) const {
+  return shards_[shard_of(password)].count(password) > 0;
+}
+
+std::string ShardedMatcher::name() const {
+  return "sharded(" + std::to_string(shards_.size()) + ")";
+}
+
+void ShardedMatcher::contains_batch(const std::vector<std::string>& batch,
+                                    util::ThreadPool* pool,
+                                    std::vector<char>& out) const {
+  out.assign(batch.size(), 0);
+  const bool parallel = pool != nullptr && pool->size() > 1 &&
+                        shards_.size() > 1 &&
+                        batch.size() >= kParallelBatchThreshold;
+  if (parallel) {
+    // Route by hash once, then one task per shard; each task writes only
+    // the batch indices its shard owns, so writes never collide (and no
+    // item is hashed K times).
+    std::vector<std::uint64_t> hashes(batch.size());
+    pool->parallel_for(batch.size(), [&](std::size_t i) {
+      hashes[i] = util::hash64(batch[i]);
+    });
+    pool->parallel_for(shards_.size(), [&](std::size_t s) {
+      const auto& shard = shards_[s];
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (hashes[i] % shards_.size() == s && shard.count(batch[i]) > 0) {
+          out[i] = 1;
+        }
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i] = contains(batch[i]) ? 1 : 0;
+    }
+  }
+}
 
 }  // namespace passflow::guessing

@@ -1,27 +1,99 @@
-// Membership oracle over the (deduplicated) test set.
+// Membership oracles over the (deduplicated) test set.
 //
 // Mirrors the paper's evaluation: a guess "matches" iff it equals a password
-// in the cleaned RockYou test partition (§IV-D, §V-A).
+// in the cleaned RockYou test partition (§IV-D, §V-A). `Matcher` is the
+// abstract interface the attack engine probes; implementations trade memory
+// layout for scale:
+//
+//   - HashSetMatcher: the classic single in-memory hash set (seed behavior).
+//   - ShardedMatcher: K independent hash-set shards keyed by a stable hash
+//     of the password, so one huge test set can be matched shard-parallel
+//     across the worker pool (and, in a distributed deployment, the shards
+//     can live on different machines). Answers are identical to the
+//     unsharded matcher for every input.
+//
+// All implementations must be safe for concurrent read-only use: the
+// pipelined AttackSession probes the matcher from its producer thread while
+// other sessions may share the same instance.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <unordered_set>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace passflow::guessing {
 
 class Matcher {
  public:
-  explicit Matcher(const std::vector<std::string>& test_set);
+  virtual ~Matcher() = default;
 
-  bool contains(const std::string& password) const {
+  virtual bool contains(const std::string& password) const = 0;
+
+  // Number of distinct test-set passwords (the denominator of Table II's
+  // matched %).
+  virtual std::size_t test_set_size() const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Bulk membership: fills out[i] = contains(batch[i]) for the whole
+  // batch. `out` is assigned/overwritten. The base implementation probes
+  // serially or splits the batch across `pool` when the batch is large
+  // enough to be worth it; ShardedMatcher overrides with a shard-parallel
+  // plan. Must be callable concurrently from multiple threads.
+  virtual void contains_batch(const std::vector<std::string>& batch,
+                              util::ThreadPool* pool,
+                              std::vector<char>& out) const;
+
+ protected:
+  // Below this batch size the hash probes are too cheap to farm out.
+  static constexpr std::size_t kParallelBatchThreshold = 1024;
+};
+
+// Single hash set over the whole test set — today's default, fastest while
+// the test set fits comfortably in memory on one node.
+class HashSetMatcher : public Matcher {
+ public:
+  explicit HashSetMatcher(const std::vector<std::string>& test_set);
+
+  bool contains(const std::string& password) const override {
     return test_set_.count(password) > 0;
   }
-
-  std::size_t test_set_size() const { return test_set_.size(); }
+  std::size_t test_set_size() const override { return test_set_.size(); }
+  std::string name() const override { return "hashset"; }
 
  private:
   std::unordered_set<std::string> test_set_;
+};
+
+// K hash-set shards; a password lives in shard util::hash64(p) % K. Probe
+// answers are identical to HashSetMatcher; contains_batch matches the
+// shards in parallel across the pool (each worker scans the batch for the
+// passwords its shard owns).
+class ShardedMatcher : public Matcher {
+ public:
+  ShardedMatcher(const std::vector<std::string>& test_set,
+                 std::size_t num_shards);
+
+  bool contains(const std::string& password) const override;
+  std::size_t test_set_size() const override { return size_; }
+  std::string name() const override;
+  void contains_batch(const std::vector<std::string>& batch,
+                      util::ThreadPool* pool,
+                      std::vector<char>& out) const override;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_size(std::size_t shard) const {
+    return shards_[shard].size();
+  }
+
+ private:
+  std::size_t shard_of(const std::string& password) const;
+
+  std::vector<std::unordered_set<std::string>> shards_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace passflow::guessing

@@ -1,0 +1,523 @@
+#include "guessing/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/serial_io.hpp"
+
+namespace passflow::guessing {
+
+namespace {
+
+constexpr char kMagic[] = "PFSESS1\n";
+constexpr char kEndMagic[] = "PFSESSE\n";
+
+namespace io = util::io;
+
+}  // namespace
+
+AttackSession::AttackSession(GuessGenerator& generator, MatcherRef matcher,
+                             SessionConfig config)
+    : generator_(&generator),
+      matcher_(std::move(matcher)),
+      config_(std::move(config)) {
+  if (config_.chunk_size == 0) {
+    throw std::invalid_argument("SessionConfig::chunk_size must be > 0");
+  }
+  // Feedback-driven generators (Algorithm 1) must see each chunk's matches
+  // before producing the next chunk, so generation cannot run ahead.
+  pipelined_ =
+      config_.pipeline_depth > 0 && !generator_->uses_match_feedback();
+  tracker_ = make_unique_tracker(config_.unique_tracking,
+                                 config_.unique_shards,
+                                 config_.sketch_precision_bits);
+  tracker_stage_ = pipelined_ && config_.unique_tracking != UniqueTracking::kOff;
+  // name() is not covered by the uses_match_feedback() contract, so it is
+  // captured before any background generate() could race with it.
+  generator_name_ = config_.log_progress ? generator_->name() : "";
+  plan_schedule();
+  refresh_stats();
+}
+
+AttackSession::~AttackSession() {
+  try {
+    pause_pipeline();
+  } catch (...) {
+    // Destructor must not throw; a pipeline error on teardown is dropped.
+  }
+}
+
+void AttackSession::plan_schedule() {
+  if (config_.checkpoints.empty()) {
+    config_.checkpoints = power_of_ten_checkpoints(config_.budget);
+  }
+  std::sort(config_.checkpoints.begin(), config_.checkpoints.end());
+
+  // Chunk request sizes are a pure function of budget/checkpoints/
+  // chunk_size (generate() appends exactly n), so the whole schedule is
+  // fixed up front: chunks never cross a checkpoint, and the pipelined
+  // producer issues exactly the serial generate() call sequence.
+  std::size_t planned = 0;
+  std::size_t ci = 0;
+  while (planned < config_.budget) {
+    const std::size_t next_stop = ci < config_.checkpoints.size()
+                                      ? config_.checkpoints[ci]
+                                      : config_.budget;
+    const std::size_t chunk =
+        std::min(config_.chunk_size, next_stop - planned);
+    schedule_.push_back(chunk);
+    planned += chunk;
+    while (ci < config_.checkpoints.size() &&
+           planned >= config_.checkpoints[ci]) {
+      ++ci;
+    }
+  }
+}
+
+bool AttackSession::step() {
+  if (finished()) {
+    refresh_stats();
+    return false;
+  }
+  if (!timer_started_) {
+    timer_.reset();
+    timer_started_ = true;
+  }
+  if (pipelined_) {
+    if (!pipeline_running_) start_pipeline();
+    pipelined_step();
+  } else {
+    serial_step();
+  }
+  if (finished() && pipeline_running_) {
+    // Natural end of the run: join the stage threads and sync the tracker
+    // so result() reports the exact final unique count.
+    pause_pipeline();
+  }
+  refresh_stats();
+  return true;
+}
+
+const SessionStats& AttackSession::run_until(std::size_t guess_target) {
+  const std::size_t target = std::min(guess_target, config_.budget);
+  while (produced_ < target && step()) {
+  }
+  return stats_;
+}
+
+const SessionStats& AttackSession::run() { return run_until(config_.budget); }
+
+void AttackSession::serial_step() {
+  if (!pending_.empty()) {
+    // Chunk thawed from a saved pipelined run: the generator's stream is
+    // already past it, and feedback delivery was waived when it was
+    // produced.
+    const std::shared_ptr<Chunk> chunk = std::move(pending_.front());
+    pending_.pop_front();
+    if (!chunk->has_membership) {
+      matcher_->contains_batch(chunk->batch, config_.pool,
+                               chunk->membership);
+    }
+    tracker_->add_batch(chunk->batch, config_.pool);
+    consume_chunk(chunk->batch, chunk->membership,
+                  /*deliver_feedback=*/false);
+  } else {
+    batch_.clear();
+    generator_->generate(schedule_[next_chunk_], batch_);
+    matcher_->contains_batch(batch_, config_.pool, membership_);
+    tracker_->add_batch(batch_, config_.pool);
+    consume_chunk(batch_, membership_, /*deliver_feedback=*/true);
+  }
+  ++next_chunk_;
+  emit_due_checkpoints();
+}
+
+void AttackSession::pipelined_step() {
+  std::shared_ptr<Chunk> chunk;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pipeline_error_ || !ready_.empty(); });
+    if (pipeline_error_) {
+      lock.unlock();
+      pause_pipeline();  // joins threads and rethrows the stored error
+      return;            // not reached
+    }
+    chunk = std::move(ready_.front());
+    ready_.pop_front();
+    ++consumed_chunks_;  // frees a producer slot while we consume
+  }
+  cv_.notify_all();
+
+  if (!chunk->has_membership) {
+    // Thawed chunks are stored without membership; the matcher is
+    // identical, so recomputing preserves every metric.
+    matcher_->contains_batch(chunk->batch, config_.pool, chunk->membership);
+    chunk->has_membership = true;
+  }
+  consume_chunk(chunk->batch, chunk->membership, /*deliver_feedback=*/false);
+  ++next_chunk_;
+
+  if (tracker_stage_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tracking_.push_back(std::move(chunk));
+    }
+    cv_.notify_all();
+  } else {
+    tracker_->add_batch(chunk->batch, config_.pool);
+  }
+  emit_due_checkpoints();
+}
+
+void AttackSession::consume_chunk(const std::vector<std::string>& batch,
+                                  const std::vector<char>& membership,
+                                  bool deliver_feedback) {
+  // A "match" is counted once per distinct test-set password (re-guessing
+  // an already matched password does not count again), mirroring |P| in
+  // Algorithm 1.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::string& guess = batch[i];
+    if (membership[i] != 0) {
+      if (matched_set_.insert(guess).second) {
+        result_.matched_passwords.push_back(guess);
+        // In pipelined mode the generator may be producing a later chunk
+        // on the producer thread right now; it declared feedback unused,
+        // so the callback is skipped rather than raced.
+        if (deliver_feedback) generator_->on_match(i, guess);
+      }
+    } else if (result_.sample_non_matched.size() <
+                   config_.non_matched_samples &&
+               !guess.empty() && non_matched_seen_.insert(guess).second) {
+      result_.sample_non_matched.push_back(guess);
+    }
+  }
+  produced_ += batch.size();
+}
+
+Checkpoint AttackSession::make_checkpoint(std::size_t guesses,
+                                          std::size_t unique) const {
+  Checkpoint cp;
+  cp.guesses = guesses;
+  cp.unique = unique;
+  cp.matched = matched_set_.size();
+  cp.matched_percent =
+      matcher_->test_set_size() > 0
+          ? 100.0 * static_cast<double>(cp.matched) /
+                static_cast<double>(matcher_->test_set_size())
+          : 0.0;
+  return cp;
+}
+
+void AttackSession::emit_due_checkpoints() {
+  while (checkpoint_index_ < config_.checkpoints.size() &&
+         produced_ >= config_.checkpoints[checkpoint_index_]) {
+    const Checkpoint cp = make_checkpoint(
+        config_.checkpoints[checkpoint_index_], synced_unique_count());
+    result_.checkpoints.push_back(cp);
+    ++checkpoint_index_;
+    if (config_.log_progress) {
+      PF_LOG_INFO << generator_name_ << ": " << cp.guesses << " guesses, "
+                  << cp.matched << " matched (" << cp.matched_percent
+                  << "%), " << cp.unique << " unique";
+    }
+  }
+}
+
+std::size_t AttackSession::synced_unique_count() {
+  if (pipeline_running_ && tracker_stage_) {
+    // Checkpoints report the unique count at an exact chunk boundary, so
+    // the consumer parks until the tracker stage has folded every chunk
+    // consumed so far (it can never be ahead — it is fed by the consumer).
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return pipeline_error_ ||
+             (tracking_.empty() && tracked_chunks_ == consumed_chunks_);
+    });
+    if (pipeline_error_) {
+      lock.unlock();
+      pause_pipeline();
+      return 0;  // not reached
+    }
+  }
+  last_synced_unique_ = tracker_->count();
+  return last_synced_unique_;
+}
+
+void AttackSession::refresh_stats() {
+  stats_.produced = produced_;
+  stats_.matched = matched_set_.size();
+  if (pipeline_running_ && tracker_stage_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.unique = std::max(published_unique_, last_synced_unique_);
+  } else {
+    stats_.unique = tracker_->count();
+  }
+  stats_.checkpoints_emitted = result_.checkpoints.size();
+  stats_.seconds =
+      seconds_accum_ + (timer_started_ ? timer_.elapsed_seconds() : 0.0);
+  stats_.guesses_per_second =
+      stats_.seconds > 0.0
+          ? static_cast<double>(produced_) / stats_.seconds
+          : 0.0;
+  stats_.finished = finished();
+}
+
+RunResult AttackSession::result() const {
+  RunResult out = result_;
+  if (out.checkpoints.empty() || out.checkpoints.back().guesses != produced_) {
+    const std::size_t unique =
+        pipeline_running_ ? last_synced_unique_ : tracker_->count();
+    out.checkpoints.push_back(make_checkpoint(produced_, unique));
+  }
+  out.seconds =
+      seconds_accum_ + (timer_started_ ? timer_.elapsed_seconds() : 0.0);
+  return out;
+}
+
+// ---- pipeline ------------------------------------------------------------
+
+void AttackSession::start_pipeline() {
+  producer_stop_ = false;
+  tracker_stop_ = false;
+  pipeline_error_ = nullptr;
+  consumed_chunks_ = next_chunk_;
+  tracked_chunks_ = next_chunk_;
+  generated_chunks_ = next_chunk_ + pending_.size();
+  // Thawed chunks re-enter at the head of the ready queue; the producer
+  // resumes generating after them (the generator's stream is already
+  // positioned past them).
+  ready_ = std::move(pending_);
+  pending_.clear();
+  published_unique_ = last_synced_unique_;
+  pipeline_running_ = true;
+  producer_thread_ = std::thread(&AttackSession::producer_loop, this);
+  if (tracker_stage_) {
+    tracker_thread_ = std::thread(&AttackSession::tracker_loop, this);
+  }
+}
+
+void AttackSession::pause_pipeline() {
+  if (!pipeline_running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    producer_stop_ = true;
+  }
+  cv_.notify_all();
+  producer_thread_.join();
+  if (tracker_stage_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tracker_stop_ = true;
+    }
+    cv_.notify_all();
+    tracker_thread_.join();  // drains its queue before exiting
+  }
+  // Chunks generated but not yet consumed survive as pending work: they
+  // are either consumed on the next step() or serialized by save_state(),
+  // so no generated guess is ever lost or repeated.
+  while (!ready_.empty()) {
+    pending_.push_back(std::move(ready_.front()));
+    ready_.pop_front();
+  }
+  pipeline_running_ = false;
+  if (pipeline_error_) {
+    const std::exception_ptr error = pipeline_error_;
+    pipeline_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  last_synced_unique_ = tracker_->count();
+}
+
+void AttackSession::producer_loop() {
+  try {
+    for (;;) {
+      std::size_t chunk_index;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return producer_stop_ ||
+                 generated_chunks_ <
+                     consumed_chunks_ + config_.pipeline_depth;
+        });
+        if (producer_stop_) return;
+        chunk_index = generated_chunks_;
+      }
+      if (chunk_index >= schedule_.size()) return;
+
+      auto chunk = std::make_shared<Chunk>();
+      chunk->batch.reserve(schedule_[chunk_index]);
+      generator_->generate(schedule_[chunk_index], chunk->batch);
+      matcher_->contains_batch(chunk->batch, config_.pool,
+                               chunk->membership);
+      chunk->has_membership = true;
+
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ready_.push_back(std::move(chunk));
+        generated_chunks_ = chunk_index + 1;
+      }
+      cv_.notify_all();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_error_ = std::current_exception();
+    cv_.notify_all();
+  }
+}
+
+void AttackSession::tracker_loop() {
+  try {
+    for (;;) {
+      std::shared_ptr<Chunk> chunk;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return tracker_stop_ || !tracking_.empty(); });
+        if (tracking_.empty()) return;  // stop requested and fully drained
+        chunk = std::move(tracking_.front());
+        tracking_.pop_front();
+      }
+      tracker_->add_batch(chunk->batch, config_.pool);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++tracked_chunks_;
+        published_unique_ = tracker_->count();
+      }
+      cv_.notify_all();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_error_ = std::current_exception();
+    cv_.notify_all();
+  }
+}
+
+// ---- save / resume -------------------------------------------------------
+
+void AttackSession::save_state(std::ostream& out) {
+  if (!generator_->supports_state_serialization()) {
+    throw std::logic_error(
+        "AttackSession::save_state requires a generator with state "
+        "serialization (generator '" +
+        generator_->name() + "' has none)");
+  }
+  pause_pipeline();
+
+  out.write(kMagic, sizeof(kMagic) - 1);
+  // Run-shape echo, validated on load: a resumed session must describe
+  // the same attack or its metrics would silently diverge. The generator
+  // name guards against thawing a stream into a different strategy (or a
+  // differently-configured one, for generators whose name reflects
+  // configuration, e.g. "PassFlow-Dynamic+GS" vs "PassFlow-Dynamic").
+  io::write_string(out, generator_->name());
+  io::write_u64(out, config_.budget);
+  io::write_u64(out, config_.chunk_size);
+  io::write_u64(out, config_.non_matched_samples);
+  io::write_u64(out, static_cast<std::uint64_t>(config_.unique_tracking));
+  io::write_u64(out, config_.checkpoints.size());
+  for (const std::size_t cp : config_.checkpoints) io::write_u64(out, cp);
+
+  io::write_u64(out, produced_);
+  io::write_u64(out, next_chunk_);
+  io::write_u64(out, checkpoint_index_);
+  io::write_f64(out, seconds_accum_ +
+                         (timer_started_ ? timer_.elapsed_seconds() : 0.0));
+
+  io::write_u64(out, result_.checkpoints.size());
+  for (const Checkpoint& cp : result_.checkpoints) {
+    io::write_u64(out, cp.guesses);
+    io::write_u64(out, cp.unique);
+    io::write_u64(out, cp.matched);
+    io::write_f64(out, cp.matched_percent);
+  }
+  io::write_string_vec(out, result_.matched_passwords);
+  io::write_string_vec(out, result_.sample_non_matched);
+
+  tracker_->save(out);
+
+  // Chunks generated ahead of consumption when the pipeline paused. The
+  // generator's stream state (below) is already positioned past them.
+  io::write_u64(out, pending_.size());
+  for (const auto& chunk : pending_) io::write_string_vec(out, chunk->batch);
+
+  generator_->save_state(out);
+  out.write(kEndMagic, sizeof(kEndMagic) - 1);
+  if (!out) throw std::runtime_error("AttackSession state write failed");
+}
+
+void AttackSession::load_state(std::istream& in) {
+  if (produced_ != 0 || next_chunk_ != 0 || !result_.checkpoints.empty()) {
+    throw std::logic_error(
+        "AttackSession::load_state must run before the first step()");
+  }
+  io::expect_magic(in, kMagic, "AttackSession");
+
+  const std::string saved_generator = io::read_string(in);
+  if (saved_generator != generator_->name()) {
+    throw std::runtime_error("saved session was produced by generator '" +
+                             saved_generator + "', not '" +
+                             generator_->name() + "'");
+  }
+
+  const auto check = [](std::uint64_t saved, std::uint64_t live,
+                        const char* what) {
+    if (saved != live) {
+      throw std::runtime_error(
+          std::string("saved session does not match this config: ") + what +
+          " was " + std::to_string(saved) + ", live " + std::to_string(live));
+    }
+  };
+  check(io::read_u64(in), config_.budget, "budget");
+  check(io::read_u64(in), config_.chunk_size, "chunk_size");
+  check(io::read_u64(in), config_.non_matched_samples,
+        "non_matched_samples");
+  check(io::read_u64(in),
+        static_cast<std::uint64_t>(config_.unique_tracking),
+        "unique_tracking");
+  check(io::read_u64(in), config_.checkpoints.size(), "checkpoint count");
+  for (std::size_t i = 0; i < config_.checkpoints.size(); ++i) {
+    check(io::read_u64(in), config_.checkpoints[i], "checkpoint value");
+  }
+
+  produced_ = io::read_u64(in);
+  next_chunk_ = io::read_u64(in);
+  checkpoint_index_ = io::read_u64(in);
+  seconds_accum_ = io::read_f64(in);
+  timer_started_ = false;
+
+  const std::uint64_t checkpoint_count = io::read_u64(in);
+  result_.checkpoints.clear();
+  for (std::uint64_t i = 0; i < checkpoint_count; ++i) {
+    Checkpoint cp;
+    cp.guesses = io::read_u64(in);
+    cp.unique = io::read_u64(in);
+    cp.matched = io::read_u64(in);
+    cp.matched_percent = io::read_f64(in);
+    result_.checkpoints.push_back(cp);
+  }
+  result_.matched_passwords = io::read_string_vec(in);
+  result_.sample_non_matched = io::read_string_vec(in);
+  matched_set_ = std::unordered_set<std::string>(
+      result_.matched_passwords.begin(), result_.matched_passwords.end());
+  // The reservoir stops inserting once full, so the seen-set is exactly
+  // the sampled set.
+  non_matched_seen_ = std::unordered_set<std::string>(
+      result_.sample_non_matched.begin(), result_.sample_non_matched.end());
+
+  tracker_->load(in);
+  last_synced_unique_ = tracker_->count();
+
+  const std::uint64_t pending_count = io::read_u64(in);
+  pending_.clear();
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    auto chunk = std::make_shared<Chunk>();
+    chunk->batch = io::read_string_vec(in);
+    pending_.push_back(std::move(chunk));
+  }
+
+  generator_->load_state(in);
+  io::expect_magic(in, kEndMagic, "AttackSession trailer");
+  refresh_stats();
+}
+
+}  // namespace passflow::guessing

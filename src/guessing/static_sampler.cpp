@@ -35,4 +35,8 @@ std::string StaticSampler::name() const {
   return config_.smoothing.enabled ? "PassFlow-Static+GS" : "PassFlow-Static";
 }
 
+void StaticSampler::save_state(std::ostream& out) const { rng_.save(out); }
+
+void StaticSampler::load_state(std::istream& in) { rng_.load(in); }
+
 }  // namespace passflow::guessing

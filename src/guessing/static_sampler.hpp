@@ -29,6 +29,12 @@ class StaticSampler : public GuessGenerator {
   void generate(std::size_t n, std::vector<std::string>& out) override;
   std::string name() const override;
 
+  // The guess stream is a pure function of the RNG state, so freezing it
+  // freezes the stream.
+  bool supports_state_serialization() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   const flow::FlowModel* model_;
   const data::Encoder* encoder_;

@@ -1,0 +1,105 @@
+#include "util/cardinality_sketch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serial_io.hpp"
+
+namespace passflow::util {
+
+namespace {
+
+constexpr char kMagic[] = "PFHLL1\n";
+
+// Bias-correction constant alpha_m of the original HLL paper (Flajolet et
+// al. 2007); exact values for the small register counts, the asymptotic
+// formula above 64.
+double alpha_for(std::size_t m) {
+  if (m <= 16) return 0.673;
+  if (m <= 32) return 0.697;
+  if (m <= 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+}  // namespace
+
+CardinalitySketch::CardinalitySketch(unsigned precision_bits)
+    : precision_(precision_bits) {
+  if (precision_ < kMinPrecision || precision_ > kMaxPrecision) {
+    throw std::invalid_argument("CardinalitySketch precision must be in [" +
+                                std::to_string(kMinPrecision) + ", " +
+                                std::to_string(kMaxPrecision) + "]");
+  }
+  registers_.assign(std::size_t{1} << precision_, 0);
+}
+
+void CardinalitySketch::add_hash(std::uint64_t hash) {
+  const std::size_t index =
+      static_cast<std::size_t>(hash >> (64 - precision_));
+  // Rank of the first set bit in the remaining 64-p bits (1-based); all
+  // zero means rank 64-p+1.
+  const std::uint64_t rest = hash << precision_;
+  const std::uint8_t rank =
+      rest == 0 ? static_cast<std::uint8_t>(64 - precision_ + 1)
+                : static_cast<std::uint8_t>(__builtin_clzll(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+std::size_t CardinalitySketch::estimate() const {
+  const std::size_t m = registers_.size();
+  double inverse_sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  const double md = static_cast<double>(m);
+  const double raw = alpha_for(m) * md * md / inverse_sum;
+  // Small-range correction: linear counting over empty registers is far
+  // more accurate until the table is mostly occupied.
+  if (raw <= 2.5 * md && zeros > 0) {
+    return static_cast<std::size_t>(
+        std::llround(md * std::log(md / static_cast<double>(zeros))));
+  }
+  // No large-range correction needed with a 64-bit hash.
+  return static_cast<std::size_t>(std::llround(raw));
+}
+
+void CardinalitySketch::merge(const CardinalitySketch& other) {
+  if (other.precision_ != precision_) {
+    throw std::invalid_argument(
+        "cannot merge CardinalitySketch of different precision");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+void CardinalitySketch::clear() {
+  registers_.assign(registers_.size(), 0);
+}
+
+void CardinalitySketch::save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic) - 1);
+  io::write_u64(out, precision_);
+  out.write(reinterpret_cast<const char*>(registers_.data()),
+            static_cast<std::streamsize>(registers_.size()));
+  if (!out) throw std::runtime_error("CardinalitySketch write failed");
+}
+
+void CardinalitySketch::load(std::istream& in) {
+  io::expect_magic(in, kMagic, "CardinalitySketch");
+  const std::uint64_t precision = io::read_u64(in);
+  if (precision != precision_) {
+    throw std::runtime_error(
+        "CardinalitySketch precision mismatch: saved p=" +
+        std::to_string(precision) + ", live p=" + std::to_string(precision_));
+  }
+  in.read(reinterpret_cast<char*>(registers_.data()),
+          static_cast<std::streamsize>(registers_.size()));
+  if (!in) throw std::runtime_error("CardinalitySketch state truncated");
+}
+
+}  // namespace passflow::util

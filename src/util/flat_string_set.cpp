@@ -1,0 +1,121 @@
+#include "util/flat_string_set.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace passflow::util {
+
+namespace {
+
+// Max load factor 0.75 (grow when size * 4 > capacity * 3): open
+// addressing with linear probing stays short-chained below this.
+constexpr std::size_t kMinTableSize = 16;
+
+std::size_t table_size_for(std::size_t keys) {
+  std::size_t size = kMinTableSize;
+  while (size * 3 < keys * 4) size <<= 1;
+  return size;
+}
+
+}  // namespace
+
+FlatStringSet::FlatStringSet(std::size_t expected_keys) {
+  slots_.assign(table_size_for(expected_keys), Slot{});
+  mask_ = slots_.size() - 1;
+  if (expected_keys > 0) {
+    entries_.reserve(expected_keys);
+    // Guessing streams skew short; 12 bytes/key is a generous prior and
+    // the arena doubles geometrically anyway.
+    arena_.reserve(expected_keys * 12);
+  }
+}
+
+bool FlatStringSet::insert_hashed(std::uint64_t hash, std::string_view key) {
+  if ((entries_.size() + 1) * 4 > slots_.size() * 3) grow_table();
+  std::size_t i = probe_start(hash);
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.index_plus_one == 0) {
+      if (entries_.size() >= UINT32_MAX) {
+        throw std::length_error("FlatStringSet exceeds 2^32-1 keys");
+      }
+      Entry entry;
+      entry.hash = hash;
+      entry.offset = arena_.size();
+      entry.length = static_cast<std::uint32_t>(key.size());
+      arena_.insert(arena_.end(), key.begin(), key.end());
+      entries_.push_back(entry);
+      slot.hash = hash;
+      slot.index_plus_one = static_cast<std::uint32_t>(entries_.size());
+      return true;
+    }
+    if (slot.hash == hash) {
+      const Entry& e = entries_[slot.index_plus_one - 1];
+      if (e.length == key.size() &&
+          std::memcmp(arena_.data() + e.offset, key.data(), key.size()) == 0) {
+        return false;
+      }
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+bool FlatStringSet::contains(std::string_view key) const {
+  const std::uint64_t hash = hash64(key);
+  std::size_t i = probe_start(hash);
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (slot.index_plus_one == 0) return false;
+    if (slot.hash == hash) {
+      const Entry& e = entries_[slot.index_plus_one - 1];
+      if (e.length == key.size() &&
+          std::memcmp(arena_.data() + e.offset, key.data(), key.size()) == 0) {
+        return true;
+      }
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void FlatStringSet::clear() {
+  arena_.clear();
+  entries_.clear();
+  slots_.assign(kMinTableSize, Slot{});
+  mask_ = slots_.size() - 1;
+}
+
+void FlatStringSet::reserve(std::size_t keys) {
+  entries_.reserve(keys);
+  const std::size_t wanted = table_size_for(keys);
+  if (wanted > slots_.size()) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(wanted, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.index_plus_one == 0) continue;
+      std::size_t i = probe_start(slot.hash);
+      while (slots_[i].index_plus_one != 0) i = (i + 1) & mask_;
+      slots_[i] = slot;
+    }
+  }
+}
+
+void FlatStringSet::grow_table() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  // Re-place by stored hash; key bytes are never touched.
+  for (const Slot& slot : old) {
+    if (slot.index_plus_one == 0) continue;
+    std::size_t i = probe_start(slot.hash);
+    while (slots_[i].index_plus_one != 0) i = (i + 1) & mask_;
+    slots_[i] = slot;
+  }
+}
+
+std::size_t FlatStringSet::memory_bytes() const {
+  return arena_.capacity() + entries_.capacity() * sizeof(Entry) +
+         slots_.capacity() * sizeof(Slot);
+}
+
+}  // namespace passflow::util

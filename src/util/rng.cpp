@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serial_io.hpp"
+
 namespace passflow::util {
 
 std::uint64_t splitmix64_next(std::uint64_t& state) {
@@ -90,6 +92,22 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+void Rng::save(std::ostream& out) const {
+  io::write_u64(out, 0x31474e5246505fULL);  // "_PFRNG1" tag
+  for (const std::uint64_t word : s_) io::write_u64(out, word);
+  io::write_f64(out, spare_normal_);
+  io::write_u64(out, has_spare_ ? 1 : 0);
+}
+
+void Rng::load(std::istream& in) {
+  if (io::read_u64(in) != 0x31474e5246505fULL) {
+    throw std::runtime_error("bad Rng state tag");
+  }
+  for (std::uint64_t& word : s_) word = io::read_u64(in);
+  spare_normal_ = io::read_f64(in);
+  has_spare_ = io::read_u64(in) != 0;
+}
 
 std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights) {
   double total = 0.0;

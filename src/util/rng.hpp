@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace passflow::util {
@@ -55,6 +56,12 @@ class Rng {
   // Derives an independent child generator; used to hand one RNG per thread
   // without correlated streams.
   Rng split();
+
+  // Serializes / restores the full generator state (xoshiro words plus the
+  // Box-Muller spare), so a restored stream continues bit-for-bit where the
+  // saved one stopped. Used by AttackSession save/resume.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -1,0 +1,94 @@
+// Tiny binary IO helpers shared by everything that persists state (session
+// checkpoints, generator stream state, trackers, sketches).
+//
+// Layouts are little-endian fixed-width fields, the same conventions as
+// nn/serialize. Readers throw std::runtime_error on truncation so corrupt
+// checkpoints fail loudly instead of resuming a garbled attack.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace passflow::util::io {
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("serialized state truncated");
+  return v;
+}
+
+inline void write_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline double read_f64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("serialized state truncated");
+  return v;
+}
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& in) {
+  const std::uint64_t len = read_u64(in);
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("serialized state truncated");
+  return s;
+}
+
+inline void write_string_vec(std::ostream& out,
+                             const std::vector<std::string>& v) {
+  write_u64(out, v.size());
+  for (const auto& s : v) write_string(out, s);
+}
+
+inline std::vector<std::string> read_string_vec(std::istream& in) {
+  const std::uint64_t count = read_u64(in);
+  std::vector<std::string> v;
+  v.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(read_string(in));
+  return v;
+}
+
+inline void write_f32_vec(std::ostream& out, const std::vector<float>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+inline std::vector<float> read_f32_vec(std::istream& in) {
+  const std::uint64_t count = read_u64(in);
+  std::vector<float> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw std::runtime_error("serialized state truncated");
+  return v;
+}
+
+// Reads and checks a fixed magic tag; throws with `what` context on
+// mismatch so nested state blocks (tracker inside session) report which
+// layer is corrupt.
+inline void expect_magic(std::istream& in, const char* magic,
+                         const char* what) {
+  std::string seen(std::char_traits<char>::length(magic), '\0');
+  in.read(seen.data(), static_cast<std::streamsize>(seen.size()));
+  if (!in || seen != magic) {
+    throw std::runtime_error(std::string("bad magic for ") + what);
+  }
+}
+
+}  // namespace passflow::util::io

@@ -40,7 +40,7 @@ class ScriptedGenerator : public GuessGenerator {
 
 TEST(Harness, GeneratesExactBudget) {
   ScriptedGenerator gen({"a", "b", "c"});
-  Matcher matcher({"nothing"});
+  HashSetMatcher matcher({"nothing"});
   HarnessConfig config;
   config.budget = 95;
   config.chunk_size = 10;
@@ -52,7 +52,7 @@ TEST(Harness, GeneratesExactBudget) {
 TEST(Harness, CountsEachMatchedPasswordOnce) {
   // "hit" appears many times in the stream but counts once.
   ScriptedGenerator gen({"hit", "miss", "hit", "miss2"});
-  Matcher matcher({"hit"});
+  HashSetMatcher matcher({"hit"});
   HarnessConfig config;
   config.budget = 100;
   const auto result = run_guessing(gen, matcher, config);
@@ -63,7 +63,7 @@ TEST(Harness, CountsEachMatchedPasswordOnce) {
 
 TEST(Harness, MatchedPercentUsesTestSetSize) {
   ScriptedGenerator gen({"a", "b", "x", "y"});
-  Matcher matcher({"a", "b", "c", "d"});  // 4 entries, 2 matched
+  HashSetMatcher matcher({"a", "b", "c", "d"});  // 4 entries, 2 matched
   HarnessConfig config;
   config.budget = 40;
   const auto result = run_guessing(gen, matcher, config);
@@ -73,7 +73,7 @@ TEST(Harness, MatchedPercentUsesTestSetSize) {
 
 TEST(Harness, UniqueCountsDistinctGuesses) {
   ScriptedGenerator gen({"a", "b", "a", "a"});
-  Matcher matcher({});
+  HashSetMatcher matcher({});
   HarnessConfig config;
   config.budget = 100;
   const auto result = run_guessing(gen, matcher, config);
@@ -82,7 +82,7 @@ TEST(Harness, UniqueCountsDistinctGuesses) {
 
 TEST(Harness, CheckpointsAreMonotone) {
   ScriptedGenerator gen({"a", "b", "c", "d", "e", "hit"});
-  Matcher matcher({"hit"});
+  HashSetMatcher matcher({"hit"});
   HarnessConfig config;
   config.budget = 10000;
   const auto result = run_guessing(gen, matcher, config);
@@ -99,7 +99,7 @@ TEST(Harness, CheckpointsAreMonotone) {
 
 TEST(Harness, DefaultCheckpointsArePowersOfTen) {
   ScriptedGenerator gen({"a"});
-  Matcher matcher({});
+  HashSetMatcher matcher({});
   HarnessConfig config;
   config.budget = 1000;
   const auto result = run_guessing(gen, matcher, config);
@@ -110,7 +110,7 @@ TEST(Harness, DefaultCheckpointsArePowersOfTen) {
 
 TEST(Harness, CustomCheckpointsRespected) {
   ScriptedGenerator gen({"a"});
-  Matcher matcher({});
+  HashSetMatcher matcher({});
   HarnessConfig config;
   config.budget = 50;
   config.checkpoints = {25, 50};
@@ -123,7 +123,7 @@ TEST(Harness, CustomCheckpointsRespected) {
 TEST(Harness, OnMatchIndexPointsIntoLastBatch) {
   // Script: chunk_size=4 so batch = {m0,m1,m2,hit}; index of "hit" is 3.
   ScriptedGenerator gen({"m0", "m1", "m2", "hit"});
-  Matcher matcher({"hit"});
+  HashSetMatcher matcher({"hit"});
   HarnessConfig config;
   config.budget = 4;
   config.chunk_size = 4;
@@ -134,7 +134,7 @@ TEST(Harness, OnMatchIndexPointsIntoLastBatch) {
 
 TEST(Harness, NonMatchedSamplesAreDistinctNonMatches) {
   ScriptedGenerator gen({"hit", "n1", "n2", "n1"});
-  Matcher matcher({"hit"});
+  HashSetMatcher matcher({"hit"});
   HarnessConfig config;
   config.budget = 100;
   config.non_matched_samples = 10;
@@ -147,7 +147,7 @@ TEST(Harness, NonMatchedSamplesAreDistinctNonMatches) {
 
 TEST(Harness, TrackUniqueOffReportsZeroUnique) {
   ScriptedGenerator gen({"a", "b"});
-  Matcher matcher({});
+  HashSetMatcher matcher({});
   HarnessConfig config;
   config.budget = 20;
   config.track_unique = false;
@@ -159,7 +159,7 @@ TEST(Harness, ChunksNeverCrossCheckpoints) {
   // With chunk_size larger than the checkpoint spacing, the harness must
   // shrink chunks so metrics at checkpoints are exact.
   ScriptedGenerator gen({"a"});
-  Matcher matcher({});
+  HashSetMatcher matcher({});
   HarnessConfig config;
   config.budget = 100;
   config.chunk_size = 64;

@@ -8,7 +8,7 @@ namespace passflow::guessing {
 namespace {
 
 TEST(Matcher, ContainsExactMatchesOnly) {
-  Matcher matcher({"alpha", "beta"});
+  HashSetMatcher matcher({"alpha", "beta"});
   EXPECT_TRUE(matcher.contains("alpha"));
   EXPECT_TRUE(matcher.contains("beta"));
   EXPECT_FALSE(matcher.contains("Alpha"));
@@ -17,14 +17,52 @@ TEST(Matcher, ContainsExactMatchesOnly) {
 }
 
 TEST(Matcher, SizeDeduplicates) {
-  Matcher matcher({"x", "x", "y"});
+  HashSetMatcher matcher({"x", "x", "y"});
   EXPECT_EQ(matcher.test_set_size(), 2u);
 }
 
 TEST(Matcher, EmptyTestSet) {
-  Matcher matcher({});
+  HashSetMatcher matcher({});
   EXPECT_EQ(matcher.test_set_size(), 0u);
   EXPECT_FALSE(matcher.contains("anything"));
+}
+
+TEST(Matcher, ContainsBatchMatchesPerItemProbes) {
+  HashSetMatcher matcher({"alpha", "beta", "gamma"});
+  const std::vector<std::string> batch = {"alpha", "nope", "gamma", "",
+                                          "beta", "alpha"};
+  std::vector<char> membership;
+  matcher.contains_batch(batch, nullptr, membership);
+  ASSERT_EQ(membership.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(membership[i] != 0, matcher.contains(batch[i])) << batch[i];
+  }
+}
+
+TEST(Matcher, ContainsBatchPooledAgreesWithSerial) {
+  // Above the parallel threshold, pooled and serial bulk matching must
+  // fill identical membership vectors (for both matcher layouts).
+  std::vector<std::string> test_set;
+  for (std::size_t i = 0; i < 500; ++i) {
+    test_set.push_back("pw" + std::to_string(i * 3));
+  }
+  std::vector<std::string> batch;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    batch.push_back("pw" + std::to_string(i));
+  }
+  util::ThreadPool pool(4);
+
+  const HashSetMatcher hashset(test_set);
+  const ShardedMatcher sharded(test_set, 4);
+  for (const Matcher* matcher :
+       {static_cast<const Matcher*>(&hashset),
+        static_cast<const Matcher*>(&sharded)}) {
+    std::vector<char> serial;
+    std::vector<char> pooled;
+    matcher->contains_batch(batch, nullptr, serial);
+    matcher->contains_batch(batch, &pool, pooled);
+    EXPECT_EQ(serial, pooled) << matcher->name();
+  }
 }
 
 TEST(Checkpoints, PowersOfTenUpToBudget) {

@@ -93,7 +93,7 @@ TEST(ParallelHarness, PooledDynamicSamplerOutputIsIdentical) {
 
 TEST(ParallelHarness, StaticRunMatchesSerialBitwise) {
   const auto& env = tiny_trained_flow();
-  const Matcher matcher(reachable_targets());
+  const HashSetMatcher matcher(reachable_targets());
   util::ThreadPool pool(4);
 
   auto run = [&](bool parallel) {
@@ -124,7 +124,7 @@ TEST(ParallelHarness, DynamicRunMatchesSerialBitwise) {
   // pipeline generation even when asked — and with the pool only speeding
   // up inverse/decode/matching, the metrics must not change.
   const auto& env = tiny_trained_flow();
-  const Matcher matcher(reachable_targets());
+  const HashSetMatcher matcher(reachable_targets());
   util::ThreadPool pool(4);
 
   auto run = [&](bool parallel) {
@@ -166,7 +166,7 @@ class CountingGenerator : public GuessGenerator {
 };
 
 TEST(ParallelHarness, OverlappedScheduleCoversExactBudget) {
-  Matcher matcher({"g7", "g1000", "g54000", "nope"});
+  HashSetMatcher matcher({"g7", "g1000", "g54000", "nope"});
   util::ThreadPool pool(2);
 
   auto run = [&](bool overlap) {
@@ -187,7 +187,7 @@ TEST(ParallelHarness, OverlappedScheduleCoversExactBudget) {
 }
 
 TEST(ParallelHarness, OverlappedCustomCheckpointsStayExact) {
-  Matcher matcher({"g5"});
+  HashSetMatcher matcher({"g5"});
   util::ThreadPool pool(2);
 
   auto run = [&](bool overlap) {

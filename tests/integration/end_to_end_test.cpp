@@ -3,6 +3,9 @@
 // seconds).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <unordered_set>
 
 #include "baselines/markov.hpp"
@@ -17,10 +20,49 @@
 namespace passflow {
 namespace {
 
-// One trained model shared across all tests in this file (training is the
-// expensive part).
+// One trained model shared across all tests in this file. Training used to
+// dominate the whole suite's wall-clock (~11 s), so the trained parameters
+// and NLL history are persisted as a checked-in fixture
+// (tests/fixtures/e2e_flow.*) that SetUpTestSuite loads in milliseconds;
+// deleting the fixture files re-trains and re-writes them on the next run.
 class EndToEndTest : public ::testing::Test {
  protected:
+  static bool load_fixture(const std::string& checkpoint_path,
+                           const std::string& history_path) {
+    std::ifstream history(history_path);
+    if (!history.good()) return false;
+    flow::TrainResult loaded;
+    std::string line;
+    while (std::getline(history, line)) {
+      if (line.empty()) continue;
+      flow::EpochStats stats;
+      char comma = 0;
+      std::istringstream fields(line);
+      fields >> stats.epoch >> comma >> stats.train_nll >> comma >>
+          stats.validation_nll;
+      if (!fields) return false;
+      loaded.history.push_back(stats);
+    }
+    if (loaded.history.empty()) return false;
+    try {
+      model_->load(checkpoint_path);  // validates names and shapes
+    } catch (const std::exception&) {
+      return false;
+    }
+    *result_ = std::move(loaded);
+    return true;
+  }
+
+  static void save_fixture(const std::string& checkpoint_path,
+                           const std::string& history_path) {
+    model_->save(checkpoint_path);
+    std::ofstream history(history_path);
+    for (const auto& stats : result_->history) {
+      history << stats.epoch << ',' << stats.train_nll << ','
+              << stats.validation_nll << '\n';
+    }
+  }
+
   static void SetUpTestSuite() {
     quiet_ = new testing::QuietLogs();
     // Focused corpus + compact alphabet: the regime where a small flow
@@ -41,6 +83,12 @@ class EndToEndTest : public ::testing::Test {
     config.residual_blocks = 2;
     util::Rng model_rng(6);
     model_ = new flow::FlowModel(config, model_rng);
+    result_ = new flow::TrainResult();
+
+    const std::string fixture_dir = PASSFLOW_TEST_FIXTURE_DIR;
+    const std::string checkpoint_path = fixture_dir + "/e2e_flow.ckpt";
+    const std::string history_path = fixture_dir + "/e2e_flow_history.csv";
+    if (load_fixture(checkpoint_path, history_path)) return;
 
     flow::TrainConfig train_config;
     train_config.epochs = 12;
@@ -48,8 +96,8 @@ class EndToEndTest : public ::testing::Test {
     train_config.lr_decay = 0.98;
     train_config.log_every = 0;
     flow::Trainer trainer(*model_, train_config);
-    result_ = new flow::TrainResult(
-        trainer.train(split_->train, *encoder_));
+    *result_ = trainer.train(split_->train, *encoder_);
+    save_fixture(checkpoint_path, history_path);
   }
 
   static void TearDownTestSuite() {
@@ -114,7 +162,7 @@ std::vector<std::string> fresh_target_set() {
 }
 
 TEST_F(EndToEndTest, StaticSamplerFindsMatches) {
-  guessing::Matcher matcher(fresh_target_set());
+  guessing::HashSetMatcher matcher(fresh_target_set());
   guessing::StaticSamplerConfig config;
   config.seed = 101;
   guessing::StaticSampler sampler(*model_, *encoder_, config);
@@ -125,7 +173,7 @@ TEST_F(EndToEndTest, StaticSamplerFindsMatches) {
 }
 
 TEST_F(EndToEndTest, DynamicBeatsStaticOnSameBudget) {
-  guessing::Matcher matcher(fresh_target_set());
+  guessing::HashSetMatcher matcher(fresh_target_set());
   const std::size_t budget = 30000;
 
   guessing::StaticSamplerConfig s_config;
@@ -150,7 +198,7 @@ TEST_F(EndToEndTest, GaussianSmoothingIncreasesUniqueGuesses) {
   // pre-register mixture components (as if matches had occurred) with a
   // tiny sigma, so every subsequent draw concentrates near a few latent
   // points. GS must then recover uniqueness (Table III's mechanism).
-  guessing::Matcher matcher(split_->test_unique);
+  guessing::HashSetMatcher matcher(split_->test_unique);
 
   auto run_with = [&](bool gs) {
     guessing::DynamicSamplerConfig config;
@@ -177,7 +225,7 @@ TEST_F(EndToEndTest, GaussianSmoothingIncreasesUniqueGuesses) {
 
 TEST_F(EndToEndTest, MatchedPasswordsAreReallyInTargetSet) {
   const auto targets = fresh_target_set();
-  guessing::Matcher matcher(targets);
+  guessing::HashSetMatcher matcher(targets);
   guessing::StaticSamplerConfig config;
   config.seed = 13;
   guessing::StaticSampler sampler(*model_, *encoder_, config);
@@ -206,7 +254,7 @@ TEST_F(EndToEndTest, MarkovBaselineAlsoFindsMatches) {
   baselines::MarkovModel markov(encoder_->alphabet(), 2, 8);
   markov.train(split_->train);
   baselines::MarkovSampler sampler(markov);
-  guessing::Matcher matcher(fresh_target_set());
+  guessing::HashSetMatcher matcher(fresh_target_set());
   guessing::HarnessConfig harness;
   harness.budget = 20000;
   const auto result = run_guessing(sampler, matcher, harness);
@@ -214,7 +262,7 @@ TEST_F(EndToEndTest, MarkovBaselineAlsoFindsMatches) {
 }
 
 TEST_F(EndToEndTest, CheckpointMetricsMonotoneInBudget) {
-  guessing::Matcher matcher(fresh_target_set());
+  guessing::HashSetMatcher matcher(fresh_target_set());
   guessing::StaticSamplerConfig config;
   config.seed = 17;
   guessing::StaticSampler sampler(*model_, *encoder_, config);

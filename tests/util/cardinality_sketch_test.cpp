@@ -1,0 +1,105 @@
+#include "util/cardinality_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+namespace passflow::util {
+namespace {
+
+std::string item(std::size_t i) { return "item-" + std::to_string(i); }
+
+TEST(CardinalitySketch, EmptyEstimatesZero) {
+  CardinalitySketch sketch;
+  EXPECT_EQ(sketch.estimate(), 0u);
+}
+
+TEST(CardinalitySketch, PrecisionBoundsEnforced) {
+  EXPECT_THROW(CardinalitySketch(3), std::invalid_argument);
+  EXPECT_THROW(CardinalitySketch(19), std::invalid_argument);
+  EXPECT_EQ(CardinalitySketch(4).register_count(), 16u);
+  EXPECT_EQ(CardinalitySketch(14).register_count(), 16384u);
+}
+
+TEST(CardinalitySketch, SmallCardinalitiesNearExact) {
+  // Linear counting regime: estimates should be essentially exact.
+  CardinalitySketch sketch(14);
+  for (std::size_t i = 0; i < 500; ++i) sketch.add(item(i));
+  EXPECT_NEAR(static_cast<double>(sketch.estimate()), 500.0, 5.0);
+}
+
+TEST(CardinalitySketch, DuplicatesDoNotInflate) {
+  CardinalitySketch sketch(14);
+  for (std::size_t round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < 1000; ++i) sketch.add(item(i));
+  }
+  EXPECT_NEAR(static_cast<double>(sketch.estimate()), 1000.0, 15.0);
+}
+
+TEST(CardinalitySketch, MillionDistinctWithinTwoPercent) {
+  // p=14 has ~0.8% standard error; the acceptance bound is 2%.
+  CardinalitySketch sketch(14);
+  constexpr std::size_t kDistinct = 1000000;
+  for (std::size_t i = 0; i < kDistinct; ++i) sketch.add(item(i));
+  const double estimate = static_cast<double>(sketch.estimate());
+  EXPECT_NEAR(estimate, static_cast<double>(kDistinct),
+              0.02 * static_cast<double>(kDistinct));
+}
+
+TEST(CardinalitySketch, MergeEqualsUnion) {
+  CardinalitySketch a(12);
+  CardinalitySketch b(12);
+  CardinalitySketch whole(12);
+  for (std::size_t i = 0; i < 30000; ++i) {
+    // Overlapping halves: [0, 20000) and [10000, 30000).
+    if (i < 20000) a.add(item(i));
+    if (i >= 10000) b.add(item(i));
+    whole.add(item(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.estimate(), whole.estimate());
+}
+
+TEST(CardinalitySketch, MergePrecisionMismatchThrows) {
+  CardinalitySketch a(12);
+  CardinalitySketch b(14);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CardinalitySketch, SaveLoadRoundTrips) {
+  CardinalitySketch sketch(12);
+  for (std::size_t i = 0; i < 5000; ++i) sketch.add(item(i));
+  std::stringstream stream;
+  sketch.save(stream);
+
+  CardinalitySketch restored(12);
+  restored.load(stream);
+  EXPECT_EQ(restored.estimate(), sketch.estimate());
+
+  // More adds continue from the restored registers.
+  for (std::size_t i = 5000; i < 6000; ++i) {
+    sketch.add(item(i));
+    restored.add(item(i));
+  }
+  EXPECT_EQ(restored.estimate(), sketch.estimate());
+}
+
+TEST(CardinalitySketch, LoadPrecisionMismatchThrows) {
+  CardinalitySketch sketch(12);
+  std::stringstream stream;
+  sketch.save(stream);
+  CardinalitySketch other(14);
+  EXPECT_THROW(other.load(stream), std::runtime_error);
+}
+
+TEST(CardinalitySketch, ClearResets) {
+  CardinalitySketch sketch(10);
+  for (std::size_t i = 0; i < 1000; ++i) sketch.add(item(i));
+  sketch.clear();
+  EXPECT_EQ(sketch.estimate(), 0u);
+}
+
+}  // namespace
+}  // namespace passflow::util

@@ -1,0 +1,89 @@
+#include "util/flat_string_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace passflow::util {
+namespace {
+
+TEST(FlatStringSet, InsertReportsNewness) {
+  FlatStringSet set;
+  EXPECT_TRUE(set.insert("alpha"));
+  EXPECT_TRUE(set.insert("beta"));
+  EXPECT_FALSE(set.insert("alpha"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatStringSet, ContainsExactKeysOnly) {
+  FlatStringSet set;
+  set.insert("alpha");
+  EXPECT_TRUE(set.contains("alpha"));
+  EXPECT_FALSE(set.contains("Alpha"));
+  EXPECT_FALSE(set.contains("alph"));
+  EXPECT_FALSE(set.contains("alphaa"));
+  EXPECT_FALSE(set.contains(""));
+}
+
+TEST(FlatStringSet, EmptyKeySupported) {
+  FlatStringSet set;
+  EXPECT_TRUE(set.insert(""));
+  EXPECT_FALSE(set.insert(""));
+  EXPECT_TRUE(set.contains(""));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatStringSet, AgreesWithUnorderedSetUnderChurn) {
+  // Random strings with heavy duplication, across several table growths.
+  FlatStringSet set;
+  std::unordered_set<std::string> reference;
+  Rng rng(99);
+  for (std::size_t i = 0; i < 200000; ++i) {
+    std::string key;
+    const std::size_t len = 1 + rng.uniform_index(12);
+    for (std::size_t c = 0; c < len; ++c) {
+      key.push_back(static_cast<char>('a' + rng.uniform_index(8)));
+    }
+    EXPECT_EQ(set.insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (const auto& key : reference) EXPECT_TRUE(set.contains(key));
+}
+
+TEST(FlatStringSet, ForEachVisitsInInsertionOrder) {
+  FlatStringSet set;
+  const std::vector<std::string> keys = {"z", "m", "a", "q", "m", "b"};
+  std::vector<std::string> expected = {"z", "m", "a", "q", "b"};
+  for (const auto& key : keys) set.insert(key);
+  std::vector<std::string> seen;
+  set.for_each([&](std::string_view key) { seen.emplace_back(key); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(FlatStringSet, ReserveDoesNotChangeContents) {
+  FlatStringSet set;
+  for (std::size_t i = 0; i < 100; ++i) {
+    set.insert("key-" + std::to_string(i));
+  }
+  set.reserve(100000);
+  EXPECT_EQ(set.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(set.contains("key-" + std::to_string(i)));
+  }
+}
+
+TEST(FlatStringSet, ClearResets) {
+  FlatStringSet set;
+  set.insert("x");
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains("x"));
+  EXPECT_TRUE(set.insert("x"));
+}
+
+}  // namespace
+}  // namespace passflow::util
