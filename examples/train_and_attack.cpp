@@ -7,6 +7,7 @@
 //                               [--train-size 10000] [--strategy dynamic+gs]
 //                               [--pipeline 4] [--sketch-unique false]
 //                               [--state attack.state]
+//                               [--scenarios static@0.8,static@1.0,dynamic+gs]
 //
 // Strategies: static | dynamic | dynamic+gs (Table II rows). --pipeline N
 // keeps N chunks in flight (feedback-free strategies only; dynamic runs
@@ -14,16 +15,28 @@
 // with the HLL sketch. --state freezes the session after every progress
 // report and resumes from the file if it exists, so a long attack survives
 // a restart (static strategy only — re-run with the same flags).
+//
+// --scenarios runs a comma-separated sweep of strategies concurrently as
+// one fleet through AttackScheduler: every scenario gets its own sampler
+// but they all share one matcher and one worker-pool budget. static@SIGMA
+// sets the static sampler's prior stddev, so "static@0.6,static@1.0,
+// static@1.4" reproduces a sigma ablation in a single run. Ignores
+// --strategy/--state.
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "data/synthetic_rockyou.hpp"
 #include "flow/trainer.hpp"
 #include "guessing/dynamic_sampler.hpp"
+#include "guessing/scheduler.hpp"
 #include "guessing/session.hpp"
 #include "guessing/static_sampler.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace pf = passflow;
@@ -40,6 +53,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("pipeline", 4));
   const bool sketch_unique = flags.get_bool("sketch-unique", false);
   const std::string state_path = flags.get_string("state", "");
+  const std::string scenarios_flag = flags.get_string("scenarios", "");
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
 
   // Leak simulation: the attacker holds a subsample of one breach and
@@ -77,6 +91,80 @@ int main(int argc, char** argv) {
   session_config.unique_tracking = sketch_unique
                                        ? pf::guessing::UniqueTracking::kSketch
                                        : pf::guessing::UniqueTracking::kExact;
+
+  // ---- fleet mode: a concurrent sweep over one shared matcher ----------
+  if (!scenarios_flag.empty()) {
+    std::vector<std::unique_ptr<pf::guessing::GuessGenerator>> samplers;
+    std::vector<std::string> labels;
+    std::stringstream specs(scenarios_flag);
+    std::string spec;
+    while (std::getline(specs, spec, ',')) {
+      if (spec.empty()) continue;
+      if (spec.rfind("static", 0) == 0) {
+        pf::guessing::StaticSamplerConfig sampler_config;
+        const std::size_t at = spec.find('@');
+        if (at != std::string::npos) {
+          try {
+            sampler_config.sigma = std::stod(spec.substr(at + 1));
+          } catch (const std::exception&) {
+            std::fprintf(stderr, "bad sigma in scenario spec '%s'\n",
+                         spec.c_str());
+            return 1;
+          }
+        }
+        // Distinct seeds so identical-sigma scenarios still explore
+        // different latent draws.
+        sampler_config.seed = 11 + samplers.size();
+        samplers.push_back(std::make_unique<pf::guessing::StaticSampler>(
+            model, encoder, sampler_config));
+      } else if (spec == "dynamic" || spec == "dynamic+gs") {
+        auto sampler_config = pf::guessing::table1_parameters(guesses);
+        sampler_config.smoothing.enabled = (spec == "dynamic+gs");
+        sampler_config.seed = 13 + samplers.size();
+        samplers.push_back(std::make_unique<pf::guessing::DynamicSampler>(
+            model, encoder, sampler_config));
+      } else {
+        std::fprintf(stderr, "unknown scenario spec '%s'\n", spec.c_str());
+        return 1;
+      }
+      labels.push_back(spec);
+    }
+
+    pf::guessing::SchedulerConfig fleet;
+    fleet.pool = &pf::util::shared_pool();
+    pf::guessing::AttackScheduler scheduler(fleet);
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < samplers.size(); ++i) {
+      pf::guessing::ScenarioOptions options;
+      options.name = labels[i];
+      options.session = session_config;
+      options.session.log_progress = false;  // one summary table instead
+      ids.push_back(scheduler.add_scenario(*samplers[i], matcher, options));
+    }
+    std::printf("running %zu scenarios concurrently over %zu targets\n",
+                ids.size(), split.test_unique.size());
+    pf::util::Timer fleet_timer;
+    scheduler.run();
+
+    std::printf("\n=== fleet summary (%zu scenarios, %.1fs) ===\n",
+                ids.size(), fleet_timer.elapsed_seconds());
+    for (const auto& snap : scheduler.scenarios()) {
+      const auto scenario_result = scheduler.result(snap.id);
+      const auto& cp = scenario_result.final();
+      std::printf("  %-14s %9zu guesses: %6zu matched (%.3f%%), %zu unique\n",
+                  snap.name.c_str(), cp.guesses, cp.matched,
+                  cp.matched_percent, cp.unique);
+    }
+    const auto aggregate = scheduler.aggregate();
+    std::printf("fleet total: %zu guesses, %zu matches, %.0f guesses/s\n",
+                aggregate.produced, aggregate.matched,
+                aggregate.guesses_per_second);
+    if (aggregate.unique_union_valid) {
+      std::printf("fleet-wide distinct guesses (merged sketch): ~%zu\n",
+                  aggregate.unique_union);
+    }
+    return 0;
+  }
 
   // Drive the session in ~10 slices so progress (and, with --state, a
   // restart point) lands between them rather than only at the end.

@@ -1,0 +1,389 @@
+#include "guessing/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace passflow::guessing {
+
+namespace {
+
+ScenarioSnapshot make_snapshot(std::size_t id, const std::string& name,
+                               double weight, ScenarioStatus status,
+                               std::size_t chunks_driven,
+                               const SessionStats& stats) {
+  ScenarioSnapshot snap;
+  snap.id = id;
+  snap.name = name;
+  snap.weight = weight;
+  snap.status = status;
+  snap.chunks_driven = chunks_driven;
+  snap.stats = stats;
+  return snap;
+}
+
+}  // namespace
+
+const char* scenario_status_name(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kRunning:
+      return "running";
+    case ScenarioStatus::kPaused:
+      return "paused";
+    case ScenarioStatus::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+AttackScheduler::AttackScheduler(SchedulerConfig config)
+    : config_(std::move(config)) {
+  if (config_.slice_chunks == 0) {
+    throw std::invalid_argument("SchedulerConfig::slice_chunks must be > 0");
+  }
+}
+
+AttackScheduler::~AttackScheduler() = default;
+
+std::size_t AttackScheduler::add_scenario(GuessGenerator& generator,
+                                          MatcherRef matcher,
+                                          ScenarioOptions options) {
+  if (!(options.weight > 0.0)) {
+    throw std::invalid_argument("ScenarioOptions::weight must be > 0");
+  }
+  // One pool budget for the whole fleet: whatever the caller put in the
+  // per-scenario config is overridden, by design.
+  options.session.pool = config_.pool;
+  auto scenario = std::make_shared<Scenario>();
+  scenario->name = std::move(options.name);
+  scenario->weight = options.weight;
+  scenario->status = options.start_paused ? ScenarioStatus::kPaused
+                                          : ScenarioStatus::kRunning;
+  scenario->session = std::make_unique<AttackSession>(
+      generator, std::move(matcher), std::move(options.session));
+  scenario->snapshot = scenario->session->stats();
+
+  std::size_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    scenario->id = id;
+    if (scenario->name.empty()) {
+      scenario->name = "scenario-" + std::to_string(id);
+    }
+    // Late joiners start at the fleet's current virtual now (the minimum
+    // live virtual time), the standard fair-queuing rule: a scenario added
+    // mid-run gets its fair share from here on, it does not get to replay
+    // the past and starve everyone until it "catches up".
+    double virtual_now = std::numeric_limits<double>::infinity();
+    for (const auto& other : scenarios_) {
+      if (other->status != ScenarioStatus::kFinished && !other->removing) {
+        virtual_now = std::min(virtual_now, other->virtual_time);
+      }
+    }
+    scenario->virtual_time =
+        virtual_now == std::numeric_limits<double>::infinity() ? 0.0
+                                                               : virtual_now;
+    scenarios_.push_back(std::move(scenario));
+  }
+  cv_.notify_all();  // a parked driver may now have work
+  return id;
+}
+
+std::shared_ptr<AttackScheduler::Scenario> AttackScheduler::find_scenario(
+    std::size_t id) const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario->id == id) return scenario;
+  }
+  throw std::out_of_range("AttackScheduler: no scenario with id " +
+                          std::to_string(id));
+}
+
+AttackScheduler::Scenario* AttackScheduler::pick_next_locked() const {
+  Scenario* best = nullptr;
+  for (const auto& scenario : scenarios_) {
+    if (scenario->status != ScenarioStatus::kRunning || scenario->in_flight ||
+        scenario->removing) {
+      continue;
+    }
+    // Strict < keeps the earliest-registered scenario on ties, so the
+    // schedule is a pure function of weights and completion pattern.
+    if (best == nullptr || scenario->virtual_time < best->virtual_time) {
+      best = scenario.get();
+    }
+  }
+  return best;
+}
+
+bool AttackScheduler::any_runnable_locked() const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario->status == ScenarioStatus::kRunning && !scenario->removing) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AttackScheduler::note_driving_started_locked() {
+  if (!timer_started_) {
+    timer_.reset();
+    timer_started_ = true;
+  }
+}
+
+void AttackScheduler::run_slice(Scenario& scenario) {
+  std::size_t steps = 0;
+  std::exception_ptr error;
+  try {
+    for (std::size_t i = 0; i < config_.slice_chunks; ++i) {
+      if (!scenario.session->step()) break;
+      ++steps;
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scenario.chunks_driven += steps;
+    scenario.virtual_time += static_cast<double>(steps) / scenario.weight;
+    scenario.snapshot = scenario.session->stats();
+    if (error) {
+      // A broken session (generator threw, pipeline error) cannot take
+      // more slices; park it as finished and surface the error to whoever
+      // is driving.
+      scenario.status = ScenarioStatus::kFinished;
+      if (!first_error_) first_error_ = error;
+    } else if (scenario.session->finished()) {
+      scenario.status = ScenarioStatus::kFinished;
+    }
+    scenario.in_flight = false;
+    --active_slices_;
+  }
+  cv_.notify_all();
+}
+
+bool AttackScheduler::step() {
+  Scenario* scenario = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !quiesce_; });
+    scenario = pick_next_locked();
+    if (scenario == nullptr) return false;
+    scenario->in_flight = true;
+    ++active_slices_;
+    note_driving_started_locked();
+  }
+  run_slice(*scenario);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_) {
+      const std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+  return true;
+}
+
+void AttackScheduler::driver_loop() {
+  for (;;) {
+    Scenario* scenario = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (!quiesce_) scenario = pick_next_locked();
+        if (scenario != nullptr) break;
+        // Exit only when the fleet is truly drained: nothing runnable
+        // (ignoring the quiesce gate — that is temporary) and no slice in
+        // flight that could finish and unpark more work.
+        if (active_slices_ == 0 && !any_runnable_locked()) return;
+        cv_.wait(lock);
+      }
+      scenario->in_flight = true;
+      ++active_slices_;
+      note_driving_started_locked();
+    }
+    run_slice(*scenario);
+  }
+}
+
+void AttackScheduler::run() {
+  std::size_t drivers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t runnable = 0;
+    for (const auto& scenario : scenarios_) {
+      if (scenario->status == ScenarioStatus::kRunning && !scenario->removing) {
+        ++runnable;
+      }
+    }
+    if (runnable == 0) return;  // paused-only fleets are left paused
+    drivers = config_.max_concurrent != 0
+                  ? config_.max_concurrent
+                  : std::min(runnable,
+                             std::max<std::size_t>(
+                                 1, std::thread::hardware_concurrency()));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(drivers);
+  for (std::size_t i = 0; i < drivers; ++i) {
+    threads.emplace_back([this] { driver_loop(); });
+  }
+  for (auto& thread : threads) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_) {
+      const std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+bool AttackScheduler::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_slices_ == 0 && !any_runnable_locked();
+}
+
+std::size_t AttackScheduler::scenario_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scenarios_.size();
+}
+
+ScenarioSnapshot AttackScheduler::scenario(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<Scenario> scenario = find_scenario(id);
+  return make_snapshot(scenario->id, scenario->name, scenario->weight,
+                       scenario->status, scenario->chunks_driven,
+                       scenario->snapshot);
+}
+
+std::vector<ScenarioSnapshot> AttackScheduler::scenarios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ScenarioSnapshot> snaps;
+  snaps.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) {
+    snaps.push_back(make_snapshot(scenario->id, scenario->name,
+                                  scenario->weight, scenario->status,
+                                  scenario->chunks_driven,
+                                  scenario->snapshot));
+  }
+  return snaps;
+}
+
+void AttackScheduler::pause_scenario(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<Scenario> scenario = find_scenario(id);
+  if (scenario->status == ScenarioStatus::kRunning) {
+    scenario->status = ScenarioStatus::kPaused;
+  }
+  // An in-flight slice always completes; pausing only stops new ones.
+}
+
+void AttackScheduler::resume_scenario(std::size_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::shared_ptr<Scenario> scenario = find_scenario(id);
+    if (scenario->status == ScenarioStatus::kPaused) {
+      scenario->status = ScenarioStatus::kRunning;
+    }
+  }
+  cv_.notify_all();
+}
+
+RunResult AttackScheduler::remove_scenario(std::size_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // The shared_ptr keeps the scenario alive across the wait even if a
+  // concurrent remove_scenario(id) erases the vector entry first.
+  const std::shared_ptr<Scenario> scenario = find_scenario(id);
+  scenario->removing = true;  // no new slices from this point
+  cv_.wait(lock, [&] { return !scenario->in_flight; });
+  bool erased = false;
+  for (auto it = scenarios_.begin(); it != scenarios_.end(); ++it) {
+    if (it->get() == scenario.get()) {
+      scenarios_.erase(it);
+      erased = true;
+      break;
+    }
+  }
+  if (!erased) {
+    throw std::out_of_range("AttackScheduler: scenario " +
+                            std::to_string(id) + " was already removed");
+  }
+  RunResult result = scenario->session->result();
+  lock.unlock();
+  cv_.notify_all();  // drained drivers may now be able to exit
+  return result;
+  // `scenario` (and its session, joining any pipeline threads) is
+  // destroyed here, after the lock is released.
+}
+
+RunResult AttackScheduler::result(std::size_t id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::shared_ptr<Scenario> scenario = find_scenario(id);
+  cv_.wait(lock, [&] { return !scenario->in_flight; });
+  return scenario->session->result();
+}
+
+SchedulerStats AttackScheduler::aggregate() const {
+  // Construct the union sketch before gating anything: an out-of-range
+  // precision throws here, while the scheduler is still fully live.
+  util::CardinalitySketch unionsketch(config_.unique_union_precision_bits);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Quiesce: park slice dispatch and wait for in-flight slices to land so
+  // every session is readable at a chunk boundary. Slices are chunk-sized,
+  // so the stall is brief. Nothing below may leak an exception — an
+  // unwind would leave quiesce_ set and wedge every driver forever.
+  quiesce_ = true;
+  cv_.wait(lock, [&] { return active_slices_ == 0; });
+
+  SchedulerStats stats;
+  stats.scenarios = scenarios_.size();
+  stats.unique_union_valid = !scenarios_.empty();
+  for (const auto& scenario : scenarios_) {
+    switch (scenario->status) {
+      case ScenarioStatus::kRunning:
+        ++stats.running;
+        break;
+      case ScenarioStatus::kPaused:
+        ++stats.paused;
+        break;
+      case ScenarioStatus::kFinished:
+        ++stats.finished;
+        break;
+    }
+    stats.produced += scenario->snapshot.produced;
+    stats.matched += scenario->snapshot.matched;
+    if (stats.unique_union_valid) {
+      try {
+        if (!scenario->session->merge_unique_sketch(unionsketch)) {
+          stats.unique_union_valid = false;  // kOff contributes nothing
+        }
+      } catch (const std::invalid_argument&) {
+        stats.unique_union_valid = false;  // sketch precision mismatch
+      } catch (...) {
+        // A broken session (merge_unique_sketch surfaces stored pipeline
+        // errors) cannot contribute or take more slices; park it and hand
+        // the error to whoever drives next, like a failed slice would.
+        stats.unique_union_valid = false;
+        scenario->status = ScenarioStatus::kFinished;
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+  if (stats.unique_union_valid) stats.unique_union = unionsketch.estimate();
+  stats.seconds = timer_started_ ? timer_.elapsed_seconds() : 0.0;
+  stats.guesses_per_second =
+      stats.seconds > 0.0
+          ? static_cast<double>(stats.produced) / stats.seconds
+          : 0.0;
+
+  quiesce_ = false;
+  lock.unlock();
+  cv_.notify_all();
+  return stats;
+}
+
+}  // namespace passflow::guessing

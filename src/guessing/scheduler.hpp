@@ -1,0 +1,213 @@
+// Multi-scenario attack scheduler: many AttackSessions over one shared
+// matcher and one global pool budget.
+//
+// The paper's evaluation sweeps attack configurations — sampler sigma,
+// static vs dynamic, masking, per-model baselines — against the same test
+// set. AttackScheduler turns that sweep from N serial runs into one fleet:
+// register N scenarios (each its own GuessGenerator + SessionConfig, all
+// borrowing one MatcherRef and one ThreadPool), and the scheduler drives
+// them in chunk-granularity slices under a weighted-fair policy.
+//
+//   auto matcher = std::make_shared<const ShardedMatcher>(test_set, 8);
+//   SchedulerConfig fleet;
+//   fleet.pool = &pool;                       // the global worker budget
+//   AttackScheduler scheduler(fleet);
+//   for (auto& sampler : samplers) {
+//     scheduler.add_scenario(*sampler, matcher, options_for(sampler));
+//   }
+//   scheduler.run();                          // or step() one slice at a time
+//   for (const auto& snap : scheduler.scenarios()) report(snap);
+//
+// Scheduling policy: virtual-time weighted fairness. Every scenario
+// advances a virtual clock by chunks_driven / weight; the next slice goes
+// to the runnable scenario with the smallest virtual time (ties to the
+// lowest id). Equal weights degenerate to round-robin. The policy is a
+// pure function of (weights, slice sizes, completion pattern), so a
+// step()-driven schedule is deterministic — and because each session's
+// chunk schedule and generate() order are its own serial ones regardless
+// of interleaving, per-scenario metrics are bitwise identical to running
+// that scenario alone.
+//
+// Concurrency: step() drives one slice on the calling thread (fully
+// deterministic, zero extra threads). run() spawns up to max_concurrent
+// driver threads that pull slices under the same fair policy; sessions
+// never run two slices concurrently, and all inner parallelism (sharded
+// matching, tracker folds, pipelined producers) lands on the one shared
+// pool, whose helping waits keep nested use deadlock-free. Scenarios can
+// be added, paused, resumed and removed mid-run from any thread.
+//
+// Fleet-wide unique counts: aggregate() quiesces the fleet for a moment
+// and merges every session's distinct-guess state into one
+// CardinalitySketch (register-max for sketch trackers, key re-insertion
+// for exact ones — same hash64 family, so the union composes exactly).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "guessing/session.hpp"
+#include "util/cardinality_sketch.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace passflow::guessing {
+
+struct SchedulerConfig {
+  // Shared worker pool handed to every registered session (their
+  // SessionConfig::pool is overridden): the fleet's global budget. May be
+  // null — sessions then run their serial matching/tracking paths.
+  util::ThreadPool* pool = nullptr;
+
+  // Chunks per scheduling slice. Smaller slices interleave more fairly,
+  // larger ones amortize scheduling overhead.
+  std::size_t slice_chunks = 4;
+
+  // Driver threads run() may use. 0 = one per registered scenario at
+  // launch, capped at hardware concurrency.
+  std::size_t max_concurrent = 0;
+
+  // Precision of the fleet-wide union sketch built by aggregate().
+  // Sketch-mode sessions must use the same precision to contribute.
+  unsigned unique_union_precision_bits = 14;
+};
+
+enum class ScenarioStatus {
+  kRunning,   // eligible for slices
+  kPaused,    // registered but not eligible until resumed
+  kFinished,  // budget exhausted; results remain queryable
+};
+
+const char* scenario_status_name(ScenarioStatus status);
+
+struct ScenarioOptions {
+  std::string name;           // label in snapshots/logs; "" = "scenario-<id>"
+  double weight = 1.0;        // fair-share weight (> 0)
+  bool start_paused = false;  // register without becoming runnable
+  SessionConfig session;      // per-scenario engine config (pool overridden)
+};
+
+// Point-in-time copy of one scenario's public state; safe to hold after
+// the scheduler moves on (nothing refers back into the scheduler).
+struct ScenarioSnapshot {
+  std::size_t id = 0;
+  std::string name;
+  double weight = 1.0;
+  ScenarioStatus status = ScenarioStatus::kRunning;
+  std::size_t chunks_driven = 0;
+  SessionStats stats;
+};
+
+// Fleet-level aggregate. `unique_union` is the merged-sketch estimate of
+// distinct guesses across every scenario (valid only when every scenario
+// could contribute, i.e. none track kOff and sketch precisions agree).
+struct SchedulerStats {
+  std::size_t scenarios = 0;
+  std::size_t running = 0;
+  std::size_t paused = 0;
+  std::size_t finished = 0;
+  std::size_t produced = 0;
+  std::size_t matched = 0;
+  double seconds = 0.0;  // wall time since the first slice
+  double guesses_per_second = 0.0;
+  std::size_t unique_union = 0;
+  bool unique_union_valid = false;
+};
+
+class AttackScheduler {
+ public:
+  explicit AttackScheduler(SchedulerConfig config = {});
+  ~AttackScheduler();
+
+  AttackScheduler(const AttackScheduler&) = delete;
+  AttackScheduler& operator=(const AttackScheduler&) = delete;
+
+  // Registers a scenario and returns its id (stable for the scheduler's
+  // lifetime). The generator must outlive the scenario; the matcher
+  // follows MatcherRef semantics (borrowed or shared). Thread-safe,
+  // callable mid-run — a live run() picks the newcomer up on the next
+  // slice decision.
+  std::size_t add_scenario(GuessGenerator& generator, MatcherRef matcher,
+                           ScenarioOptions options = {});
+
+  // Pauses/resumes slice eligibility. Pausing never interrupts an
+  // in-flight slice; it just stops new ones. Unknown ids throw
+  // std::out_of_range (as does every id-taking method).
+  void pause_scenario(std::size_t id);
+  void resume_scenario(std::size_t id);
+
+  // Deregisters a scenario after its in-flight slice (if any) lands, and
+  // returns its results up to that point. The caller may destroy the
+  // generator afterwards.
+  RunResult remove_scenario(std::size_t id);
+
+  // Drives one slice of the next runnable scenario on the calling thread.
+  // Returns false (doing nothing) when nothing is runnable — every active
+  // scenario finished or paused.
+  bool step();
+
+  // Drives slices on up to max_concurrent driver threads until nothing is
+  // runnable. Returns with paused scenarios still paused. Must not be
+  // called concurrently with itself or step().
+  void run();
+
+  // True when no registered scenario is eligible for another slice.
+  bool finished() const;
+
+  std::size_t scenario_count() const;
+  ScenarioSnapshot scenario(std::size_t id) const;
+  std::vector<ScenarioSnapshot> scenarios() const;  // registration order
+
+  // Results of one scenario (waits for its in-flight slice to land).
+  RunResult result(std::size_t id) const;
+
+  // Fleet aggregate; briefly quiesces slice dispatch so every session can
+  // be read at a chunk boundary.
+  SchedulerStats aggregate() const;
+
+ private:
+  struct Scenario {
+    std::size_t id = 0;
+    std::string name;
+    double weight = 1.0;
+    ScenarioStatus status = ScenarioStatus::kRunning;
+    bool removing = false;
+    bool in_flight = false;
+    std::size_t chunks_driven = 0;
+    double virtual_time = 0.0;
+    std::unique_ptr<AttackSession> session;
+    SessionStats snapshot;  // refreshed after every slice, under mu_
+  };
+
+  // All private helpers assume mu_ is held unless noted. Waiting with a
+  // scenario pointer across a cv wait requires the shared_ptr form: a
+  // concurrent remove_scenario may erase the vector entry, and only the
+  // shared_ptr keeps the object alive for the waiter's predicate.
+  std::shared_ptr<Scenario> find_scenario(std::size_t id) const;
+  Scenario* pick_next_locked() const;
+  bool any_runnable_locked() const;
+  void run_slice(Scenario& scenario);  // called WITHOUT mu_ held
+  void driver_loop();
+  void note_driving_started_locked();
+
+  SchedulerConfig config_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<std::shared_ptr<Scenario>> scenarios_;  // registration order
+  std::size_t next_id_ = 0;
+  std::size_t active_slices_ = 0;
+  mutable bool quiesce_ = false;  // aggregate() gate: no new slices while set
+  // First slice/merge failure; rethrown by step()/run(). Mutable because
+  // aggregate() (const) parks a broken session it trips over.
+  mutable std::exception_ptr first_error_;
+
+  util::Timer timer_;
+  bool timer_started_ = false;
+};
+
+}  // namespace passflow::guessing

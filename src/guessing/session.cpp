@@ -159,15 +159,71 @@ void AttackSession::pipelined_step() {
   ++next_chunk_;
 
   if (tracker_stage_) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      tracking_.push_back(std::move(chunk));
-    }
-    cv_.notify_all();
+    schedule_tracker_chunk(std::move(chunk));
   } else {
     tracker_->add_batch(chunk->batch, config_.pool);
   }
   emit_due_checkpoints();
+}
+
+void AttackSession::schedule_tracker_chunk(std::shared_ptr<Chunk> chunk) {
+  bool spawn_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracking_.push_back(std::move(chunk));
+    if (tracker_on_pool_ && !tracker_task_active_) {
+      tracker_task_active_ = true;
+      spawn_drain = true;
+    }
+  }
+  cv_.notify_all();
+  if (spawn_drain) {
+    // Serial executor on the shared pool: at most one drain task in
+    // flight, so chunks fold in consumption order without a dedicated
+    // thread. Overwriting the previous (completed) drain's future is safe
+    // — a new drain only spawns after the old one flipped
+    // tracker_task_active_ off in its final locked section, and only
+    // pause_pipeline's wait needs the latest one.
+    tracker_future_ = config_.pool->submit([this] { tracker_drain(); });
+  }
+}
+
+void AttackSession::tracker_drain() {
+  for (;;) {
+    std::shared_ptr<Chunk> chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tracking_.empty() || pipeline_error_) {
+        // Final touch of session state: after this unlock the only thing
+        // left is returning, which readies the future pause_pipeline
+        // waits on. No cv notify here — nothing waits on idleness.
+        tracker_task_active_ = false;
+        return;
+      }
+      chunk = std::move(tracking_.front());
+      tracking_.pop_front();
+    }
+    try {
+      tracker_->add_batch(chunk->batch, config_.pool);
+    } catch (...) {
+      // Notify while still holding the lock: once it is released a
+      // successor drain can be spawned and pause_pipeline can wait on
+      // *that* future, so nothing may touch session state afterwards —
+      // including this cv. (Waking a consumer parked on a checkpoint
+      // sync is why the notify exists at all.)
+      std::lock_guard<std::mutex> lock(mu_);
+      pipeline_error_ = std::current_exception();
+      tracker_task_active_ = false;
+      cv_.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++tracked_chunks_;
+      published_unique_ = tracker_->count();
+    }
+    cv_.notify_all();
+  }
 }
 
 void AttackSession::consume_chunk(const std::vector<std::string>& batch,
@@ -290,9 +346,11 @@ void AttackSession::start_pipeline() {
   ready_ = std::move(pending_);
   pending_.clear();
   published_unique_ = last_synced_unique_;
+  tracker_on_pool_ = tracker_stage_ && config_.pool != nullptr;
+  tracker_task_active_ = false;
   pipeline_running_ = true;
   producer_thread_ = std::thread(&AttackSession::producer_loop, this);
-  if (tracker_stage_) {
+  if (tracker_stage_ && !tracker_on_pool_) {
     tracker_thread_ = std::thread(&AttackSession::tracker_loop, this);
   }
 }
@@ -306,12 +364,20 @@ void AttackSession::pause_pipeline() {
   cv_.notify_all();
   producer_thread_.join();
   if (tracker_stage_) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      tracker_stop_ = true;
+    if (tracker_on_pool_) {
+      // The drain task exits only once `tracking_` is empty (or on error);
+      // its future is the completion barrier (ready strictly after the
+      // task function has returned, so the task can never touch session
+      // state after this wait — which is what makes destruction safe).
+      if (tracker_future_.valid()) tracker_future_.wait();
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        tracker_stop_ = true;
+      }
+      cv_.notify_all();
+      tracker_thread_.join();  // drains its queue before exiting
     }
-    cv_.notify_all();
-    tracker_thread_.join();  // drains its queue before exiting
   }
   // Chunks generated but not yet consumed survive as pending work: they
   // are either consumed on the next step() or serialized by save_state(),
@@ -390,6 +456,26 @@ void AttackSession::tracker_loop() {
     pipeline_error_ = std::current_exception();
     cv_.notify_all();
   }
+}
+
+bool AttackSession::merge_unique_sketch(util::CardinalitySketch& out) {
+  if (pipeline_running_ && tracker_stage_) {
+    // Same barrier as a checkpoint: the contribution must cover exactly
+    // the chunks consumed so far, so park until the tracker stage has
+    // folded all of them (it is fed by the consumer, so it can never be
+    // ahead).
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return pipeline_error_ ||
+             (tracking_.empty() && tracked_chunks_ == consumed_chunks_);
+    });
+    if (pipeline_error_) {
+      lock.unlock();
+      pause_pipeline();  // joins the stages and rethrows the stored error
+      return false;      // not reached
+    }
+  }
+  return tracker_->merge_into(out);
 }
 
 // ---- save / resume -------------------------------------------------------

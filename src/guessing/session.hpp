@@ -23,8 +23,9 @@
 // feedback (uses_match_feedback() == false), a persistent producer thread
 // keeps up to `pipeline_depth` chunks in flight through a bounded queue —
 // generating each chunk and pre-matching it against the Matcher — while a
-// tracker thread folds consumed chunks into the UniqueTracker behind the
-// consumer. Chunk sizes and generate() call order are exactly the serial
+// tracker stage (one ThreadPool::submit() task at a time when a pool is
+// configured, a dedicated thread otherwise) folds consumed chunks into the
+// UniqueTracker behind the consumer. Chunk sizes and generate() call order are exactly the serial
 // schedule, match/sample bookkeeping is applied in stream order on the
 // consuming thread, and set-union unique counting is order-independent, so
 // every reported metric is bitwise identical to a serial run at any depth.
@@ -36,6 +37,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <future>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -153,6 +155,14 @@ class AttackSession {
   // differ — they do not affect metrics.
   void load_state(std::istream& in);
 
+  // Folds this session's distinct-guess state into `out`, the fleet-wide
+  // union accumulator (see UniqueTracker::merge_into): waits for any
+  // background tracker work to drain first, so the contribution covers
+  // every consumed chunk. Returns false when tracking is off. Must not be
+  // called concurrently with step() — the scheduler quiesces its slices
+  // before aggregating.
+  bool merge_unique_sketch(util::CardinalitySketch& out);
+
  private:
   struct Chunk {
     std::vector<std::string> batch;
@@ -177,6 +187,8 @@ class AttackSession {
   void pause_pipeline();
   void producer_loop();
   void tracker_loop();
+  void tracker_drain();
+  void schedule_tracker_chunk(std::shared_ptr<Chunk> chunk);
 
   GuessGenerator* generator_;
   MatcherRef matcher_;
@@ -218,9 +230,15 @@ class AttackSession {
   bool producer_stop_ = false;
   bool tracker_stop_ = false;
   bool pipeline_running_ = false;
+  // With a pool configured the tracker stage runs as at most one in-flight
+  // submit() task draining `tracking_` FIFO (a serial executor on shared
+  // workers); without one it falls back to the dedicated tracker thread.
+  bool tracker_on_pool_ = false;
+  bool tracker_task_active_ = false;
   std::exception_ptr pipeline_error_;
   std::thread producer_thread_;
   std::thread tracker_thread_;
+  std::future<void> tracker_future_;  // latest pool drain task
 };
 
 }  // namespace passflow::guessing

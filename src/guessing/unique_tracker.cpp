@@ -22,6 +22,7 @@ class NullUniqueTracker final : public UniqueTracker {
   bool exact() const override { return true; }
   UniqueTracking mode() const override { return UniqueTracking::kOff; }
   std::size_t memory_bytes() const override { return 0; }
+  bool merge_into(util::CardinalitySketch&) const override { return false; }
   void save(std::ostream&) const override {}
   void load(std::istream&) override {}
 };
@@ -69,6 +70,15 @@ class ExactUniqueTracker final : public UniqueTracker {
 
   bool exact() const override { return true; }
   UniqueTracking mode() const override { return UniqueTracking::kExact; }
+
+  bool merge_into(util::CardinalitySketch& sketch) const override {
+    // Re-adding a key already represented in the sketch is idempotent, so
+    // the merged estimate is exactly the sketch of the union of streams.
+    for (const auto& shard : shards_) {
+      shard.for_each([&](std::string_view key) { sketch.add(key); });
+    }
+    return true;
+  }
 
   std::size_t memory_bytes() const override {
     std::size_t total = 0;
@@ -120,6 +130,11 @@ class SketchUniqueTracker final : public UniqueTracker {
   bool exact() const override { return false; }
   UniqueTracking mode() const override { return UniqueTracking::kSketch; }
   std::size_t memory_bytes() const override { return sketch_.memory_bytes(); }
+
+  bool merge_into(util::CardinalitySketch& sketch) const override {
+    sketch.merge(sketch_);
+    return true;
+  }
 
   void save(std::ostream& out) const override {
     out.write(kSketchMagic, sizeof(kSketchMagic) - 1);

@@ -26,6 +26,10 @@
 
 #include "util/thread_pool.hpp"
 
+namespace passflow::util {
+class CardinalitySketch;
+}  // namespace passflow::util
+
 namespace passflow::guessing {
 
 enum class UniqueTracking {
@@ -52,6 +56,15 @@ class UniqueTracker {
   virtual bool exact() const = 0;
   virtual UniqueTracking mode() const = 0;
   virtual std::size_t memory_bytes() const = 0;
+
+  // Folds this tracker's distinct-guess state into `sketch`, the fleet-wide
+  // union accumulator of the multi-scenario scheduler: sketch trackers
+  // merge registers (register-wise max; throws std::invalid_argument on a
+  // precision mismatch), exact trackers re-add every stored key. Every
+  // tracker hashes with util::hash64, so exact and sketch contributions
+  // compose into one coherent union estimate. Returns false — leaving
+  // `sketch` untouched — when there is nothing to contribute (kOff).
+  virtual bool merge_into(util::CardinalitySketch& sketch) const = 0;
 
   // State serialization for session save/resume.
   virtual void save(std::ostream& out) const = 0;

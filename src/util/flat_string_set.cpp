@@ -51,8 +51,13 @@ bool FlatStringSet::insert_hashed(std::uint64_t hash, std::string_view key) {
     }
     if (slot.hash == hash) {
       const Entry& e = entries_[slot.index_plus_one - 1];
+      // key.empty() short-circuit: an empty string_view may carry a null
+      // data() (and the arena may still be empty), which memcmp must not
+      // see even at length 0 — equal lengths of 0 already mean equal keys.
       if (e.length == key.size() &&
-          std::memcmp(arena_.data() + e.offset, key.data(), key.size()) == 0) {
+          (key.empty() ||
+           std::memcmp(arena_.data() + e.offset, key.data(), key.size()) ==
+               0)) {
         return false;
       }
     }
@@ -69,7 +74,9 @@ bool FlatStringSet::contains(std::string_view key) const {
     if (slot.hash == hash) {
       const Entry& e = entries_[slot.index_plus_one - 1];
       if (e.length == key.size() &&
-          std::memcmp(arena_.data() + e.offset, key.data(), key.size()) == 0) {
+          (key.empty() ||
+           std::memcmp(arena_.data() + e.offset, key.data(), key.size()) ==
+               0)) {
         return true;
       }
     }

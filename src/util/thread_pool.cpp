@@ -34,6 +34,9 @@ void ThreadPool::enqueue(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
   }
+  // notify_one is enough: every waiter's predicate — worker or parked
+  // helper — is satisfied by a non-empty queue, so whichever thread wakes
+  // runs the task.
   cv_.notify_one();
 }
 
@@ -55,7 +58,41 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     task();
+    // Whatever state the task completed (a future became ready, a
+    // parallel_chunks counter hit zero) was written before this fence, so
+    // a helper that checked its predicate under the mutex cannot miss it.
+    // Broadcast only when a helper is actually parked: a helper that has
+    // not parked yet will see the completed state in its own predicate
+    // check, and a fine-grained parallel_for shouldn't pay a broadcast
+    // per item.
+    bool notify;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      notify = waiting_helpers_ > 0;
+    }
+    if (notify) cv_.notify_all();
   }
+}
+
+bool ThreadPool::run_one_task(std::unique_lock<std::mutex>& lock) {
+  if (tasks_.empty()) return false;
+  std::function<void()> task = std::move(tasks_.front());
+  tasks_.pop();
+  lock.unlock();
+#ifdef _OPENMP
+  // Helping executes pool tasks on the *caller's* thread; pin OpenMP for
+  // the duration so a helped GEMM body cannot fan out under the pool.
+  const int saved_omp_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  task();
+#ifdef _OPENMP
+  omp_set_num_threads(saved_omp_threads);
+#endif
+  lock.lock();
+  // The task may have completed a parked helper's wait predicate.
+  if (waiting_helpers_ > 0) cv_.notify_all();
+  return true;
 }
 
 void ThreadPool::parallel_chunks(
@@ -68,8 +105,6 @@ void ThreadPool::parallel_chunks(
   std::atomic<std::size_t> remaining{chunks};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per_chunk;
@@ -81,15 +116,25 @@ void ThreadPool::parallel_chunks(
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+      remaining.fetch_sub(1);
     });
   }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  // Work-helping wait: run queued tasks (our own chunks first, but any
+  // queued task keeps the system live) until every chunk has finished.
+  // This is what makes nested parallelism safe — a pool task that calls
+  // parallel_chunks lends its worker back instead of blocking it.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (remaining.load() != 0) {
+      if (!run_one_task(lock)) {
+        ++waiting_helpers_;
+        cv_.wait(lock,
+                 [&] { return remaining.load() == 0 || !tasks_.empty(); });
+        --waiting_helpers_;
+      }
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,17 +1,28 @@
-// Fixed-size thread pool with a parallel-for helper.
+// Fixed-size thread pool with parallel-for helpers and a submit() -> future
+// API.
 //
 // Used for embarrassingly parallel work outside the nn GEMM path (which uses
 // OpenMP directly): batched guess generation, corpus synthesis, t-SNE
-// pairwise distances. Kept deliberately simple — static partitioning, no
-// work stealing — because every call site has uniform per-item cost.
+// pairwise distances, shard-parallel matching and unique tracking, and the
+// multi-scenario attack scheduler's background stages. Partitioning stays
+// static — every parallel_for call site has uniform per-item cost — but all
+// blocking waits are *work-helping*: a thread waiting on its own chunks or
+// futures pops and runs queued tasks instead of sleeping, so tasks may
+// freely call back into the pool (nested parallel_for, submit from inside a
+// task) without deadlocking even when every worker is busy.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace passflow::util {
@@ -38,14 +49,63 @@ class ThreadPool {
       std::size_t count,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+  // Schedules one task and returns a future for its result. Exceptions
+  // land in the future. Tasks run with OpenMP pinned to one thread (like
+  // every pool worker) and may themselves submit work or block in the
+  // pool's own waits (parallel_*, wait_all), which execute queued tasks
+  // while waiting — nested use cannot starve the pool.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  // Waits for every future, running queued tasks while any is pending
+  // (safe to call from inside a pool task), then get()s each in order so
+  // the first stored exception propagates.
+  template <typename T>
+  void wait_all(std::vector<std::future<T>>& futures) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (auto& future : futures) {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+          if (!run_one_task(lock)) {
+            ++waiting_helpers_;
+            cv_.wait(lock, [&] {
+              return !tasks_.empty() ||
+                     future.wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready;
+            });
+            --waiting_helpers_;
+          }
+        }
+      }
+    }
+    for (auto& future : futures) future.get();
+  }
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
+  // Pops and runs one queued task, releasing `lock` around the call.
+  // Returns false (without running anything) when the queue is empty.
+  bool run_one_task(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
+  // One condition variable for everything: workers waiting for tasks,
+  // helpers waiting for "task available or my work finished". Task
+  // completions notify it — but only while a helper is parked
+  // (waiting_helpers_ > 0), so fine-grained workloads don't pay a
+  // broadcast per task when nobody is listening for completions.
   std::condition_variable cv_;
+  std::size_t waiting_helpers_ = 0;  // parked in a helping wait, under mutex_
   bool stop_ = false;
 };
 

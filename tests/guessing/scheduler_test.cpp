@@ -1,0 +1,330 @@
+// AttackScheduler behavior suite (single-threaded step() driving): fair
+// slice allocation, pause/resume, mid-run add/remove, aggregate stats and
+// the argument contract. The core invariant throughout: a scenario driven
+// by the scheduler — under any interleaving — reports metrics bitwise
+// identical to the same session run alone, because its chunk schedule and
+// generate() order are its own serial ones. Concurrent run() driving lives
+// in scheduler_parallel_test.cpp.
+#include "guessing/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "reference_harness.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+using testing::MixingGenerator;
+using testing::ReferenceConfig;
+using testing::reference_run;
+
+std::vector<std::string> mixing_targets(std::size_t period = 1 << 14) {
+  std::vector<std::string> targets;
+  for (std::size_t v = 0; v < period; v += 7) {
+    targets.push_back("g" + std::to_string(v));
+  }
+  return targets;
+}
+
+SessionConfig chunked_config(std::size_t budget, std::size_t chunk_size) {
+  SessionConfig config;
+  config.budget = budget;
+  config.chunk_size = chunk_size;
+  config.checkpoints = {budget};  // one chunk per schedule slot
+  return config;
+}
+
+RunResult expected_run(const Matcher& matcher, std::size_t period,
+                       std::size_t budget, std::size_t chunk_size) {
+  MixingGenerator generator(period);
+  ReferenceConfig config;
+  config.budget = budget;
+  config.chunk_size = chunk_size;
+  config.checkpoints = {budget};
+  return reference_run(generator, matcher, config);
+}
+
+TEST(AttackScheduler, DrivesEveryScenarioToItsSoloMetrics) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 3;
+  AttackScheduler scheduler(fleet);
+
+  // Different periods => genuinely different guess streams per scenario.
+  const std::size_t periods[] = {1 << 14, 1 << 13, 1 << 12};
+  MixingGenerator generators[] = {MixingGenerator(periods[0]),
+                                  MixingGenerator(periods[1]),
+                                  MixingGenerator(periods[2])};
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ScenarioOptions options;
+    options.session = chunked_config(20000 + 1000 * i, 512);
+    ids.push_back(scheduler.add_scenario(generators[i], matcher, options));
+  }
+
+  std::size_t slices = 0;
+  while (scheduler.step()) ++slices;
+  EXPECT_TRUE(scheduler.finished());
+  EXPECT_GT(slices, 3u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const RunResult expected =
+        expected_run(matcher, periods[i], 20000 + 1000 * i, 512);
+    ASSERT_GT(expected.final().matched, 0u);
+    const RunResult actual = scheduler.result(ids[i]);
+    PF_EXPECT_SAME_RUN(expected, actual);
+    EXPECT_EQ(scheduler.scenario(ids[i]).status, ScenarioStatus::kFinished);
+  }
+}
+
+TEST(AttackScheduler, WeightedFairnessSplitsSlicesByWeight) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator light, heavy;
+  ScenarioOptions light_options;
+  light_options.weight = 1.0;
+  light_options.session = chunked_config(10000, 100);  // 100 chunks
+  ScenarioOptions heavy_options;
+  heavy_options.weight = 3.0;
+  heavy_options.session = chunked_config(10000, 100);
+  const std::size_t light_id =
+      scheduler.add_scenario(light, matcher, light_options);
+  const std::size_t heavy_id =
+      scheduler.add_scenario(heavy, matcher, heavy_options);
+
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(scheduler.step());
+
+  const std::size_t light_chunks = scheduler.scenario(light_id).chunks_driven;
+  const std::size_t heavy_chunks = scheduler.scenario(heavy_id).chunks_driven;
+  EXPECT_EQ(light_chunks + heavy_chunks, 40u);
+  // Virtual-time fairness: the weight-3 scenario gets ~3x the slices while
+  // both are runnable (exact split depends on float accumulation order,
+  // which is deterministic but not worth hand-computing).
+  EXPECT_GE(heavy_chunks, 27u);
+  EXPECT_LE(heavy_chunks, 33u);
+
+  // The allocation is a pure function of the config: a second identical
+  // scheduler makes the identical decisions.
+  MixingGenerator light2, heavy2;
+  AttackScheduler replay(fleet);
+  const std::size_t light2_id =
+      replay.add_scenario(light2, matcher, light_options);
+  const std::size_t heavy2_id =
+      replay.add_scenario(heavy2, matcher, heavy_options);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(replay.step());
+  EXPECT_EQ(replay.scenario(light2_id).chunks_driven, light_chunks);
+  EXPECT_EQ(replay.scenario(heavy2_id).chunks_driven, heavy_chunks);
+}
+
+TEST(AttackScheduler, EqualWeightsRoundRobin) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator a, b;
+  ScenarioOptions options;
+  options.session = chunked_config(5000, 100);
+  const std::size_t a_id = scheduler.add_scenario(a, matcher, options);
+  const std::size_t b_id = scheduler.add_scenario(b, matcher, options);
+
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(scheduler.step());
+  EXPECT_EQ(scheduler.scenario(a_id).chunks_driven, 5u);
+  EXPECT_EQ(scheduler.scenario(b_id).chunks_driven, 5u);
+}
+
+TEST(AttackScheduler, PauseStopsSlicesAndResumeRestartsThem) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator a, b;
+  ScenarioOptions options;
+  options.session = chunked_config(8000, 500);
+  const std::size_t a_id = scheduler.add_scenario(a, matcher, options);
+  const std::size_t b_id = scheduler.add_scenario(b, matcher, options);
+
+  scheduler.pause_scenario(a_id);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(scheduler.step());
+  EXPECT_EQ(scheduler.scenario(a_id).chunks_driven, 0u);
+  EXPECT_EQ(scheduler.scenario(a_id).status, ScenarioStatus::kPaused);
+  EXPECT_EQ(scheduler.scenario(b_id).chunks_driven, 4u);
+
+  scheduler.resume_scenario(a_id);
+  while (scheduler.step()) {
+  }
+  // The pause cost A nothing: its stream is its own, so the full run still
+  // matches the solo metrics bitwise.
+  const RunResult expected = expected_run(matcher, 1 << 14, 8000, 500);
+  PF_EXPECT_SAME_RUN(expected, scheduler.result(a_id));
+  PF_EXPECT_SAME_RUN(expected, scheduler.result(b_id));
+}
+
+TEST(AttackScheduler, StartPausedScenarioWaitsForResume) {
+  HashSetMatcher matcher({"nothing"});
+  AttackScheduler scheduler;
+  MixingGenerator generator;
+  ScenarioOptions options;
+  options.start_paused = true;
+  options.session = chunked_config(1000, 100);
+  const std::size_t id = scheduler.add_scenario(generator, matcher, options);
+  EXPECT_FALSE(scheduler.step());  // nothing runnable
+  EXPECT_TRUE(scheduler.finished());
+  scheduler.resume_scenario(id);
+  EXPECT_TRUE(scheduler.step());
+}
+
+TEST(AttackScheduler, MidRunAddIsDrivenFromItsOwnStart) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 2;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator first;
+  ScenarioOptions options;
+  options.session = chunked_config(12000, 500);
+  scheduler.add_scenario(first, matcher, options);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(scheduler.step());
+
+  MixingGenerator late(1 << 12);
+  ScenarioOptions late_options;
+  late_options.session = chunked_config(6000, 500);
+  const std::size_t late_id =
+      scheduler.add_scenario(late, matcher, late_options);
+  while (scheduler.step()) {
+  }
+
+  const RunResult expected = expected_run(matcher, 1 << 12, 6000, 500);
+  PF_EXPECT_SAME_RUN(expected, scheduler.result(late_id));
+}
+
+TEST(AttackScheduler, RemoveReturnsThePartialRunAtAChunkBoundary) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(20000, 500);
+  const std::size_t id = scheduler.add_scenario(generator, matcher, options);
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(scheduler.step());
+
+  const RunResult partial = scheduler.remove_scenario(id);
+  EXPECT_EQ(partial.final().guesses, 7u * 500u);
+  EXPECT_EQ(scheduler.scenario_count(), 0u);
+  EXPECT_THROW(scheduler.result(id), std::out_of_range);
+
+  // The partial result is exactly a prefix of the solo run.
+  MixingGenerator solo_generator;
+  AttackSession solo(solo_generator, matcher, chunked_config(20000, 500));
+  solo.run_until(7 * 500);
+  PF_EXPECT_SAME_RUN(solo.result(), partial);
+}
+
+TEST(AttackScheduler, AggregateCountsStatusesAndTotals) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator a, b, c;
+  ScenarioOptions small;
+  small.session = chunked_config(1000, 500);
+  ScenarioOptions big;
+  big.session = chunked_config(100000, 500);
+  ScenarioOptions parked;
+  parked.start_paused = true;
+  parked.session = chunked_config(1000, 500);
+
+  const std::size_t a_id = scheduler.add_scenario(a, matcher, small);
+  scheduler.add_scenario(b, matcher, big);
+  scheduler.add_scenario(c, matcher, parked);
+
+  // Drive until the small scenario finishes.
+  while (scheduler.scenario(a_id).status != ScenarioStatus::kFinished) {
+    ASSERT_TRUE(scheduler.step());
+  }
+
+  const SchedulerStats stats = scheduler.aggregate();
+  EXPECT_EQ(stats.scenarios, 3u);
+  EXPECT_EQ(stats.finished, 1u);
+  EXPECT_EQ(stats.paused, 1u);
+  EXPECT_EQ(stats.running, 1u);
+  EXPECT_GE(stats.produced, 1000u);
+  EXPECT_TRUE(stats.unique_union_valid);  // both drive exact trackers
+  EXPECT_GT(stats.unique_union, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(AttackScheduler, UniqueUnionInvalidWhenTrackingIsOff) {
+  HashSetMatcher matcher({"nothing"});
+  AttackScheduler scheduler;
+  MixingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(1000, 500);
+  options.session.unique_tracking = UniqueTracking::kOff;
+  scheduler.add_scenario(generator, matcher, options);
+  while (scheduler.step()) {
+  }
+  EXPECT_FALSE(scheduler.aggregate().unique_union_valid);
+}
+
+TEST(AttackScheduler, RejectsBadArguments) {
+  HashSetMatcher matcher({"x"});
+  MixingGenerator generator;
+
+  SchedulerConfig zero_slice;
+  zero_slice.slice_chunks = 0;
+  EXPECT_THROW(AttackScheduler{zero_slice}, std::invalid_argument);
+
+  AttackScheduler scheduler;
+  ScenarioOptions bad_weight;
+  bad_weight.weight = 0.0;
+  EXPECT_THROW(scheduler.add_scenario(generator, matcher, bad_weight),
+               std::invalid_argument);
+  EXPECT_THROW(scheduler.scenario(99), std::out_of_range);
+  EXPECT_THROW(scheduler.pause_scenario(99), std::out_of_range);
+  EXPECT_THROW(scheduler.remove_scenario(99), std::out_of_range);
+}
+
+TEST(AttackScheduler, SliceErrorsSurfaceAndParkTheScenario) {
+  class ThrowingGenerator : public GuessGenerator {
+   public:
+    void generate(std::size_t n, std::vector<std::string>& out) override {
+      if (calls_++ == 2) throw std::runtime_error("generator exploded");
+      for (std::size_t i = 0; i < n; ++i) out.push_back("g");
+    }
+    std::string name() const override { return "throwing"; }
+
+   private:
+    int calls_ = 0;
+  };
+
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+  ThrowingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(5000, 500);
+  const std::size_t id = scheduler.add_scenario(generator, matcher, options);
+
+  ASSERT_TRUE(scheduler.step());
+  ASSERT_TRUE(scheduler.step());
+  EXPECT_THROW(scheduler.step(), std::runtime_error);
+  EXPECT_EQ(scheduler.scenario(id).status, ScenarioStatus::kFinished);
+  EXPECT_FALSE(scheduler.step());  // the broken scenario takes no more slices
+}
+
+}  // namespace
+}  // namespace passflow::guessing

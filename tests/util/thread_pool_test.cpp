@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace passflow::util {
@@ -64,6 +66,89 @@ TEST(ThreadPool, ReusableAcrossCalls) {
 TEST(ThreadPool, DefaultSizeIsPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto text = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsViaFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitAllRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] { done++; }));
+  }
+  pool.wait_all(futures);
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WaitAllPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit([] {}));
+  futures.push_back(pool.submit([] { throw std::runtime_error("boom"); }));
+  futures.push_back(pool.submit([] {}));
+  EXPECT_THROW(pool.wait_all(futures), std::runtime_error);
+}
+
+// A submitted task calling parallel_for on its own pool must not deadlock,
+// even on a single-worker pool where the task occupies the only worker:
+// the helping wait lends the worker back to the nested chunks.
+TEST(ThreadPool, NestedParallelForInsideSubmittedTask) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(workers);
+    std::atomic<int> total{0};
+    auto task = pool.submit([&] {
+      pool.parallel_for(100, [&](std::size_t) { total++; });
+      return total.load();
+    });
+    EXPECT_EQ(task.get(), 100);
+  }
+}
+
+// Tasks submitting further tasks and waiting on them — the scheduler's
+// tracker-drain pattern — must complete on a saturated pool.
+TEST(ThreadPool, SubmitFromInsideSubmittedTask) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> outers;
+  for (int i = 0; i < 8; ++i) {
+    outers.push_back(pool.submit([&pool, i] {
+      std::vector<std::future<int>> inners;
+      for (int j = 0; j < 4; ++j) {
+        inners.push_back(pool.submit([i, j] { return i * 4 + j; }));
+      }
+      pool.wait_all(inners);
+      int sum = 0;
+      // wait_all already get()s each future to surface exceptions, so
+      // re-submit the arithmetic: futures are single-get.
+      for (int j = 0; j < 4; ++j) sum += i * 4 + j;
+      return sum;
+    }));
+  }
+  int total = 0;
+  for (auto& outer : outers) total += outer.get();
+  EXPECT_EQ(total, 31 * 32 / 2);
+}
+
+// parallel_for from a worker that is itself running a parallel_for chunk.
+TEST(ThreadPool, DoublyNestedParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 32);
 }
 
 }  // namespace
