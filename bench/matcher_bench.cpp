@@ -1,0 +1,297 @@
+// Disk-backed matcher bench: IndexBuilder build throughput, MappedMatcher
+// cold/warm probe rates vs the in-memory HashSetMatcher, and the resident-
+// memory cost of each. Emits the JSON recorded in BENCH_matcher.json.
+//
+//   ./matcher_bench [--keys 1000000] [--key-bytes 24] [--shards 16]
+//                   [--probes 2000000] [--budget 200000] [--chunk 8192]
+//                   [--index-path matcher_bench.pfidx]
+//                   [--out BENCH_matcher.json]
+//
+// Arms:
+//   build        streaming IndexBuilder over the synthetic key set
+//   hashset      in-memory HashSetMatcher probe throughput (the baseline)
+//   mapped_cold  MappedMatcher probes right after the index is evicted
+//                from the page cache (true disk-paged cold start)
+//   mapped_warm  the same probe stream again, pages now resident
+//
+// Before anything is reported, an identical AttackSession is run over the
+// hash-set and the mapped matcher and every metric is cross-checked for
+// bitwise equality — the disk index may only ever trade speed, never
+// answers.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "guessing/mapped_matcher.hpp"
+#include "guessing/matcher.hpp"
+#include "guessing/metrics.hpp"
+#include "guessing/session.hpp"
+#include "util/flags.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace pf = passflow;
+
+namespace {
+
+std::size_t resident_bytes() {
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  std::size_t total_pages = 0;
+  std::size_t resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  return resident_pages * static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+// Drops the index from the page cache so the cold arm measures disk-paged
+// probes, not cache hits. Best-effort: a no-op off Linux.
+void evict_from_page_cache(const std::string& path) {
+#if defined(__linux__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+// Deterministic feedback-free guess stream over the bench key space; ~50%
+// of guesses are test-set members.
+class KeyStreamGenerator : public pf::guessing::GuessGenerator {
+ public:
+  KeyStreamGenerator(std::size_t key_count, const std::string& padding)
+      : key_count_(key_count), padding_(padding) {}
+  void generate(std::size_t n, std::vector<std::string>& out) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t j = pf::util::mix64(cursor_++) % (key_count_ * 2);
+      out.push_back("k" + std::to_string(j) + padding_);
+    }
+  }
+  std::string name() const override { return "key-stream"; }
+
+ private:
+  std::size_t key_count_;
+  std::string padding_;
+  std::size_t cursor_ = 0;
+};
+
+bool same_run(const pf::guessing::RunResult& a,
+              const pf::guessing::RunResult& b) {
+  if (a.checkpoints.size() != b.checkpoints.size() ||
+      a.matched_passwords != b.matched_passwords ||
+      a.sample_non_matched != b.sample_non_matched) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    if (a.checkpoints[i].guesses != b.checkpoints[i].guesses ||
+        a.checkpoints[i].unique != b.checkpoints[i].unique ||
+        a.checkpoints[i].matched != b.checkpoints[i].matched ||
+        a.checkpoints[i].matched_percent != b.checkpoints[i].matched_percent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pf::util::Flags flags(argc, argv);
+  const auto key_count =
+      static_cast<std::size_t>(flags.get_int("keys", 1000000));
+  const auto key_bytes =
+      static_cast<std::size_t>(flags.get_int("key-bytes", 24));
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 16));
+  const auto probe_count =
+      static_cast<std::size_t>(flags.get_int("probes", 2000000));
+  const auto budget =
+      static_cast<std::size_t>(flags.get_int("budget", 200000));
+  const auto chunk = static_cast<std::size_t>(flags.get_int("chunk", 8192));
+  const std::string index_path =
+      flags.get_string("index-path", "matcher_bench.pfidx");
+  const std::string out_path = flags.get_string("out", "");
+
+  const std::string padding(
+      key_bytes > 12 ? key_bytes - 12 : std::size_t{1}, 'x');
+  const auto key_for = [&](std::uint64_t j) {
+    return "k" + std::to_string(j) + padding;
+  };
+
+  std::printf("matcher_bench: keys=%zu key_bytes=%zu shards=%zu probes=%zu\n",
+              key_count, key_bytes, shards, probe_count);
+
+  // ---- arm 0: streaming index build ------------------------------------
+  pf::guessing::IndexBuilderConfig build_config;
+  build_config.num_shards = shards;
+  pf::guessing::IndexBuilder builder(build_config);
+  pf::util::Timer build_timer;
+  builder.begin(index_path);
+  for (std::size_t j = 0; j < key_count; ++j) builder.add(key_for(j));
+  const auto build_stats = builder.finish();
+  const double build_seconds = build_timer.elapsed_seconds();
+  const double file_mb =
+      static_cast<double>(build_stats.file_bytes) / (1024.0 * 1024.0);
+  std::printf(
+      "  %-12s %7.2fs  %11.0f keys/s  %6.1f MB file  peak shard %.1f MB\n",
+      "build", build_seconds,
+      static_cast<double>(key_count) / build_seconds, file_mb,
+      static_cast<double>(build_stats.peak_shard_bytes) / (1024.0 * 1024.0));
+
+  // Probe stream, shared by every probe arm (~50% hits).
+  std::vector<std::string> probes;
+  probes.reserve(probe_count);
+  for (std::size_t i = 0; i < probe_count; ++i) {
+    probes.push_back(key_for(pf::util::mix64(i) % (key_count * 2)));
+  }
+
+  struct ProbeArm {
+    std::string label;
+    double seconds = 0.0;
+    std::size_t hits = 0;
+    std::size_t rss_delta = 0;
+  };
+  const auto run_probes = [&](const pf::guessing::Matcher& matcher,
+                              const std::string& label) {
+    ProbeArm arm;
+    arm.label = label;
+    std::vector<char> membership;
+    std::vector<std::string> batch;
+    pf::util::Timer timer;
+    for (std::size_t begin = 0; begin < probes.size(); begin += chunk) {
+      const std::size_t end = std::min(probes.size(), begin + chunk);
+      batch.assign(probes.begin() + static_cast<std::ptrdiff_t>(begin),
+                   probes.begin() + static_cast<std::ptrdiff_t>(end));
+      matcher.contains_batch(batch, nullptr, membership);
+      for (const char m : membership) arm.hits += m != 0;
+    }
+    arm.seconds = timer.elapsed_seconds();
+    return arm;
+  };
+
+  std::vector<ProbeArm> arms;
+
+  // ---- arm 1: in-memory hash set (the RAM-resident baseline) -----------
+  std::size_t hashset_rss_delta = 0;
+  std::unique_ptr<pf::guessing::HashSetMatcher> hashset;
+  {
+    std::vector<std::string> keys;
+    keys.reserve(key_count);
+    for (std::size_t j = 0; j < key_count; ++j) keys.push_back(key_for(j));
+    const std::size_t rss_before = resident_bytes();
+    hashset = std::make_unique<pf::guessing::HashSetMatcher>(keys);
+    const std::size_t rss_after = resident_bytes();
+    hashset_rss_delta =
+        rss_after > rss_before ? rss_after - rss_before : 0;
+  }
+  arms.push_back(run_probes(*hashset, "hashset"));
+  arms.back().rss_delta = hashset_rss_delta;
+
+  // ---- arms 2+3: mapped, cold then warm --------------------------------
+  evict_from_page_cache(index_path);
+  const std::size_t rss_before_mapped = resident_bytes();
+  const pf::guessing::MappedMatcher mapped(index_path);
+  arms.push_back(run_probes(mapped, "mapped_cold"));
+  arms.push_back(run_probes(mapped, "mapped_warm"));
+  const std::size_t rss_after_mapped = resident_bytes();
+  const std::size_t mapped_rss_delta =
+      rss_after_mapped > rss_before_mapped
+          ? rss_after_mapped - rss_before_mapped
+          : 0;
+  arms[1].rss_delta = mapped_rss_delta;  // cold pass pages the working set
+  arms[2].rss_delta = mapped_rss_delta;
+
+  for (const ProbeArm& arm : arms) {
+    std::printf("  %-12s %7.2fs  %11.0f probes/s  %8zu hits  rss +%.1f MB\n",
+                arm.label.c_str(), arm.seconds,
+                static_cast<double>(probe_count) / arm.seconds, arm.hits,
+                static_cast<double>(arm.rss_delta) / (1024.0 * 1024.0));
+  }
+
+  // ---- cross-check: the disk index may never change an answer ----------
+  if (arms[0].hits != arms[1].hits || arms[0].hits != arms[2].hits) {
+    std::fprintf(stderr, "FATAL: probe hit counts diverged across arms\n");
+    std::remove(index_path.c_str());
+    return 1;
+  }
+  const auto run_session = [&](const pf::guessing::Matcher& matcher) {
+    KeyStreamGenerator generator(key_count, padding);
+    pf::guessing::SessionConfig config;
+    config.budget = budget;
+    config.chunk_size = chunk;
+    pf::guessing::AttackSession session(generator, matcher, config);
+    session.run();
+    return session.result();
+  };
+  const auto session_hashset = run_session(*hashset);
+  const auto session_mapped = run_session(mapped);
+  if (!same_run(session_hashset, session_mapped)) {
+    std::fprintf(
+        stderr,
+        "FATAL: session metrics diverged between hashset and mapped\n");
+    std::remove(index_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "  session cross-check: %zu-guess AttackSession metrics bitwise "
+      "identical (%zu matched)\n",
+      budget, session_mapped.final().matched);
+
+  // ---- JSON record -----------------------------------------------------
+  std::stringstream json;
+  json << "{\n"
+       << "  \"bench\": \"matcher_bench\",\n"
+       << "  \"config\": { \"keys\": " << key_count << ", \"key_bytes\": "
+       << key_bytes << ", \"shards\": " << shards << ", \"probes\": "
+       << probe_count << ", \"chunk_size\": " << chunk
+       << ", \"session_budget\": " << budget << " },\n"
+       << "  \"build\": { \"seconds\": " << build_seconds
+       << ", \"keys_per_second\": "
+       << static_cast<long long>(static_cast<double>(key_count) /
+                                 build_seconds)
+       << ", \"file_bytes\": " << build_stats.file_bytes
+       << ", \"mb_per_second\": " << file_mb / build_seconds
+       << ", \"peak_shard_bytes\": " << build_stats.peak_shard_bytes
+       << ", \"keys_distinct\": " << build_stats.keys_distinct << " },\n"
+       << "  \"note\": \"cold = probes after posix_fadvise(DONTNEED) "
+          "evicted the index from the page cache; rss_delta_bytes for the "
+          "mapped arms is the paged-in working set of the whole probe "
+          "stream, vs the hash set holding every key resident\",\n"
+       << "  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    json << "    { \"label\": \"" << arms[i].label << "\", \"seconds\": "
+         << arms[i].seconds << ", \"probes_per_second\": "
+         << static_cast<long long>(static_cast<double>(probe_count) /
+                                   arms[i].seconds)
+         << ", \"hits\": " << arms[i].hits << ", \"rss_delta_bytes\": "
+         << arms[i].rss_delta << " }" << (i + 1 < arms.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n"
+       << "  \"session_cross_check\": { \"budget\": " << budget
+       << ", \"matched\": " << session_mapped.final().matched
+       << ", \"unique\": " << session_mapped.final().unique
+       << ", \"bitwise_identical\": true }\n"
+       << "}\n";
+
+  std::printf("%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  std::remove(index_path.c_str());
+  return 0;
+}

@@ -8,6 +8,8 @@
 //                               [--pipeline 4] [--sketch-unique false]
 //                               [--state attack.state]
 //                               [--scenarios static@0.8,static@1.0,dynamic+gs]
+//                               [--build-index targets.pfidx]
+//                               [--index targets.pfidx]
 //
 // Strategies: static | dynamic | dynamic+gs (Table II rows). --pipeline N
 // keeps N chunks in flight (feedback-free strategies only; dynamic runs
@@ -22,6 +24,12 @@
 // sets the static sampler's prior stddev, so "static@0.6,static@1.0,
 // static@1.4" reproduces a sigma ablation in a single run. Ignores
 // --strategy/--state.
+//
+// --build-index writes the target set to a disk index at the given path
+// and attacks through the mmap-backed MappedMatcher instead of the
+// in-memory hash set; --index attacks through an existing index file
+// (e.g. one built offline from a multi-GB leak with IndexBuilder), so the
+// target corpus never has to fit in RAM. Metrics are identical either way.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -31,6 +39,7 @@
 #include "data/synthetic_rockyou.hpp"
 #include "flow/trainer.hpp"
 #include "guessing/dynamic_sampler.hpp"
+#include "guessing/mapped_matcher.hpp"
 #include "guessing/scheduler.hpp"
 #include "guessing/session.hpp"
 #include "guessing/static_sampler.hpp"
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
   const bool sketch_unique = flags.get_bool("sketch-unique", false);
   const std::string state_path = flags.get_string("state", "");
   const std::string scenarios_flag = flags.get_string("scenarios", "");
+  const std::string index_path = flags.get_string("index", "");
+  const std::string build_index_path = flags.get_string("build-index", "");
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
 
   // Leak simulation: the attacker holds a subsample of one breach and
@@ -82,7 +93,36 @@ int main(int argc, char** argv) {
   std::printf("trained in %s\n",
               pf::util::format_duration(timer.elapsed_seconds()).c_str());
 
-  pf::guessing::HashSetMatcher matcher(split.test_unique);
+  // The membership oracle the attack probes: in-memory by default, or an
+  // mmap-paged disk index when --index/--build-index asks for one.
+  std::shared_ptr<const pf::guessing::Matcher> matcher;
+  if (!index_path.empty() || !build_index_path.empty()) {
+    try {
+      std::string path = index_path;
+      if (!build_index_path.empty()) {
+        const auto stats = pf::guessing::IndexBuilder::build(
+            split.test_unique, build_index_path);
+        std::printf("built disk index %s: %zu keys, %.1f MB in %s\n",
+                    build_index_path.c_str(), stats.keys_distinct,
+                    static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0),
+                    pf::util::format_duration(stats.seconds).c_str());
+        path = build_index_path;
+      }
+      auto mapped = std::make_shared<pf::guessing::MappedMatcher>(path);
+      std::printf("probing disk index %s: %zu targets in %zu shards\n",
+                  path.c_str(), mapped->test_set_size(),
+                  mapped->shard_count());
+      matcher = std::move(mapped);
+    } catch (const std::exception& e) {
+      // Missing/corrupt/foreign index files are an operator error, not a
+      // crash: report like every other bad flag.
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    matcher = std::make_shared<pf::guessing::HashSetMatcher>(
+        split.test_unique);
+  }
   pf::guessing::SessionConfig session_config;
   session_config.budget = guesses;
   session_config.log_progress = true;
@@ -142,7 +182,7 @@ int main(int argc, char** argv) {
       ids.push_back(scheduler.add_scenario(*samplers[i], matcher, options));
     }
     std::printf("running %zu scenarios concurrently over %zu targets\n",
-                ids.size(), split.test_unique.size());
+                ids.size(), matcher->test_set_size());
     pf::util::Timer fleet_timer;
     scheduler.run();
 

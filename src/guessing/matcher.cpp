@@ -62,29 +62,13 @@ void ShardedMatcher::contains_batch(const std::vector<std::string>& batch,
                         shards_.size() > 1 &&
                         batch.size() >= kParallelBatchThreshold;
   if (parallel) {
-    // Route by hash once, then submit one task per shard; each task writes
-    // only the batch indices its shard owns, so writes never collide (and
-    // no item is hashed K times). submit() + wait_all rather than a second
-    // parallel_for so shard scans interleave with whatever else is on the
-    // pool (other sessions' matching, tracker folds) at task granularity,
-    // and the wait lends this thread back to the pool.
-    std::vector<std::uint64_t> hashes(batch.size());
-    pool->parallel_for(batch.size(), [&](std::size_t i) {
-      hashes[i] = util::hash64(batch[i]);
-    });
-    std::vector<std::future<void>> scans;
-    scans.reserve(shards_.size());
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      scans.push_back(pool->submit([this, s, &batch, &hashes, &out] {
-        const auto& shard = shards_[s];
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (hashes[i] % shards_.size() == s && shard.count(batch[i]) > 0) {
-            out[i] = 1;
-          }
-        }
-      }));
-    }
-    pool->wait_all(scans);
+    detail::shard_parallel_contains_batch(
+        shards_.size(), batch, *pool,
+        [](const std::string& key) { return util::hash64(key); },
+        [this](std::size_t s, std::uint64_t, const std::string& key) {
+          return shards_[s].count(key) > 0;
+        },
+        out);
   } else {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       out[i] = contains(batch[i]) ? 1 : 0;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +26,42 @@
 #include "util/thread_pool.hpp"
 
 namespace passflow::guessing {
+
+namespace detail {
+
+// The shard-parallel bulk-membership plan shared by every sharded matcher
+// (in-memory and disk-backed): hash each key once, then submit one task
+// per shard; a task writes only the batch indices its shard owns, so
+// writes never collide and no item is hashed K times. submit() + wait_all
+// rather than a second parallel_for so shard scans interleave with
+// whatever else is on the pool (other sessions' matching, tracker folds)
+// at task granularity, and the wait lends the calling thread back to the
+// pool. probe_fn(shard, hash, key) answers membership within one shard.
+template <typename HashFn, typename ProbeFn>
+void shard_parallel_contains_batch(std::size_t shard_count,
+                                   const std::vector<std::string>& batch,
+                                   util::ThreadPool& pool, HashFn&& hash_fn,
+                                   ProbeFn&& probe_fn,
+                                   std::vector<char>& out) {
+  std::vector<std::uint64_t> hashes(batch.size());
+  pool.parallel_for(batch.size(),
+                    [&](std::size_t i) { hashes[i] = hash_fn(batch[i]); });
+  std::vector<std::future<void>> scans;
+  scans.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    scans.push_back(pool.submit([&, s] {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (hashes[i] % shard_count == s &&
+            probe_fn(s, hashes[i], batch[i])) {
+          out[i] = 1;
+        }
+      }
+    }));
+  }
+  pool.wait_all(scans);
+}
+
+}  // namespace detail
 
 class Matcher {
  public:

@@ -53,6 +53,16 @@ class FlatStringSet {
     }
   }
 
+  // Visits every (stored hash, key) in insertion order — for consumers
+  // that need the hash again (e.g. the disk-index emitter) without paying
+  // a second full hashing pass.
+  template <typename Fn>
+  void for_each_hashed(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      fn(e.hash, std::string_view(arena_.data() + e.offset, e.length));
+    }
+  }
+
   std::size_t memory_bytes() const;
 
  private:

@@ -1,0 +1,141 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(_WIN32)
+#define PASSFLOW_HAS_MMAP 0
+#else
+#define PASSFLOW_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#if !PASSFLOW_HAS_MMAP
+#include <fstream>
+#endif
+
+namespace passflow::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if PASSFLOW_HAS_MMAP
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapping == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot mmap", path);
+    }
+    data_ = static_cast<unsigned char*>(mapping);
+    mapped_ = true;
+  }
+  // The mapping keeps the file alive; the descriptor is not needed again.
+  ::close(fd);
+  open_ = true;
+}
+
+void MmapFile::advise_random() {
+  if (!mapped_) return;
+  ::posix_madvise(data_, size_, POSIX_MADV_RANDOM);
+#if defined(MADV_NOHUGEPAGE)
+  // Point probes want 4 KiB fault granularity: a huge-page (or large-folio)
+  // fault makes every probe resident-cost 2 MiB instead of one page.
+  ::madvise(data_, size_, MADV_NOHUGEPAGE);
+#endif
+}
+
+void MmapFile::advise_sequential() {
+  if (mapped_) ::posix_madvise(data_, size_, POSIX_MADV_SEQUENTIAL);
+}
+
+void MmapFile::close() {
+  if (mapped_) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  open_ = false;
+}
+
+#else  // fallback: read the whole file into an owned buffer
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail("cannot open", path);
+  const std::streamoff bytes = in.tellg();
+  in.seekg(0);
+  fallback_.resize(static_cast<std::size_t>(bytes));
+  if (bytes > 0 &&
+      !in.read(reinterpret_cast<char*>(fallback_.data()), bytes)) {
+    fail("cannot read", path);
+  }
+  data_ = fallback_.empty() ? nullptr : fallback_.data();
+  size_ = fallback_.size();
+  open_ = true;
+}
+
+void MmapFile::advise_random() {}
+void MmapFile::advise_sequential() {}
+
+void MmapFile::close() {
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+#endif
+
+MmapFile::~MmapFile() { close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      open_(other.open_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)),
+      path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.open_ = false;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = other.data_;
+    size_ = other.size_;
+    open_ = other.open_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.open_ = false;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+}  // namespace passflow::util

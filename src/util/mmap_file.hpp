@@ -1,0 +1,57 @@
+// Read-only memory-mapped file, RAII style.
+//
+// The disk-backed matcher probes multi-GB shard indexes that must never be
+// read into the heap wholesale: mmap gives byte-addressable access while
+// the kernel pages only the slots and key bytes a probe actually touches
+// (and evicts them under memory pressure). This wrapper owns the fd and the
+// mapping, exposes the bytes as a span, and forwards access-pattern hints
+// to madvise so random-probe workloads do not trigger readahead of whole
+// shards.
+//
+// On platforms without mmap (the #else branch) the file is read into an
+// owned buffer instead — the API holds, only the paging benefit is lost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace passflow::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  // Maps `path` read-only; throws std::runtime_error (with the path and
+  // errno text) when the file cannot be opened or mapped. A zero-byte file
+  // maps successfully with data() == nullptr and size() == 0.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool is_open() const { return open_; }
+  const std::string& path() const { return path_; }
+
+  // Best-effort madvise hints; no-ops on the fallback implementation.
+  // Random is the right default for hash-probe access: it disables
+  // readahead, so touching one slot faults one page, not a cluster.
+  void advise_random();
+  void advise_sequential();
+
+  void close();
+
+ private:
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;
+  bool mapped_ = false;               // true when data_ came from mmap
+  std::vector<unsigned char> fallback_;  // non-mmap platforms only
+  std::string path_;
+};
+
+}  // namespace passflow::util

@@ -1,0 +1,315 @@
+#include "guessing/mapped_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "guessing/session.hpp"
+#include "util/hash.hpp"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace passflow::guessing {
+namespace {
+
+std::string temp_index_path(const std::string& tag) {
+  return ::testing::TempDir() + "mapped_matcher_" + tag + ".pfidx";
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(PASSFLOW_TEST_FIXTURE_DIR) + "/index/" + name;
+}
+
+std::vector<std::string> make_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back("pw" + std::to_string(util::mix64(i) % (count * 4)));
+  }
+  return keys;
+}
+
+void expect_throws_containing(const std::function<void()>& fn,
+                              const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected an exception mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(MappedMatcher, RoundTripAgreesWithHashSet) {
+  const auto keys = make_keys(5000);
+  const std::string path = temp_index_path("roundtrip");
+  IndexBuilderConfig config;
+  config.num_shards = 5;
+  const auto stats = IndexBuilder::build(keys, path, config);
+
+  const HashSetMatcher reference(keys);
+  const MappedMatcher mapped(path);
+  EXPECT_EQ(mapped.test_set_size(), reference.test_set_size());
+  EXPECT_EQ(stats.keys_distinct, reference.test_set_size());
+  EXPECT_EQ(stats.keys_seen, keys.size());
+  EXPECT_EQ(mapped.shard_count(), 5u);
+  EXPECT_EQ(mapped.name(), "mapped(5)");
+
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const std::string probe = "pw" + std::to_string(i * 7);
+    EXPECT_EQ(mapped.contains(probe), reference.contains(probe)) << probe;
+  }
+  for (const auto& key : keys) EXPECT_TRUE(mapped.contains(key));
+  std::remove(path.c_str());
+}
+
+TEST(MappedMatcher, BuildIsByteDeterministic) {
+  const auto keys = make_keys(2000);
+  const std::string path_a = temp_index_path("det_a");
+  const std::string path_b = temp_index_path("det_b");
+  IndexBuilder::build(keys, path_a);
+  IndexBuilder::build(keys, path_b);
+  std::ifstream a(path_a, std::ios::binary);
+  std::ifstream b(path_b, std::ios::binary);
+  std::stringstream bytes_a, bytes_b;
+  bytes_a << a.rdbuf();
+  bytes_b << b.rdbuf();
+  EXPECT_EQ(bytes_a.str(), bytes_b.str());
+  EXPECT_GT(bytes_a.str().size(), kIndexHeaderBytes);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(MappedMatcher, WordlistBuilderStripsCarriageReturns) {
+  std::istringstream words("alpha\r\nbeta\ngamma\nbeta\n");
+  const std::string path = temp_index_path("wordlist");
+  const auto stats = IndexBuilder::build_wordlist(words, path);
+  EXPECT_EQ(stats.keys_seen, 4u);
+  EXPECT_EQ(stats.keys_distinct, 3u);
+  const MappedMatcher mapped(path);
+  EXPECT_TRUE(mapped.contains("alpha"));
+  EXPECT_TRUE(mapped.contains("beta"));
+  EXPECT_TRUE(mapped.contains("gamma"));
+  EXPECT_FALSE(mapped.contains("alpha\r"));
+  std::remove(path.c_str());
+}
+
+TEST(MappedMatcher, AbandonedBuildLeavesNoSpillFiles) {
+  const std::string path = temp_index_path("abandoned");
+  {
+    IndexBuilder builder;  // default: 16 shards
+    builder.begin(path);
+    builder.add("alpha");
+    builder.add("beta");
+    // Destroyed without finish() — e.g. the caller's wordlist stream threw.
+  }
+  for (int s = 0; s < 16; ++s) {
+    std::ifstream spill(path + ".shard" + std::to_string(s) + ".spill");
+    EXPECT_FALSE(spill.good()) << "leaked spill for shard " << s;
+  }
+  std::ifstream partial(path);
+  EXPECT_FALSE(partial.good()) << "leaked partial index";
+}
+
+TEST(MappedMatcher, BuilderRejectsZeroShards) {
+  IndexBuilderConfig config;
+  config.num_shards = 0;
+  EXPECT_THROW(IndexBuilder builder(config), std::invalid_argument);
+}
+
+TEST(MappedMatcher, RejectsMissingFile) {
+  expect_throws_containing(
+      [] { MappedMatcher matcher(temp_index_path("does_not_exist")); },
+      "cannot open");
+}
+
+// The corrupt fixtures are golden files checked into tests/fixtures/index/
+// (each derived from a valid 3-shard index over pw0..pw99; see the README
+// there). Every load failure must name the problem so an operator can tell
+// a wrong file from a damaged one.
+TEST(MappedMatcher, RejectsBadMagic) {
+  expect_throws_containing(
+      [] { MappedMatcher matcher(fixture_path("bad_magic.pfidx")); },
+      "bad magic");
+}
+
+TEST(MappedMatcher, RejectsWrongFormatVersion) {
+  expect_throws_containing(
+      [] { MappedMatcher matcher(fixture_path("wrong_version.pfidx")); },
+      "format version");
+}
+
+TEST(MappedMatcher, RejectsHashSeedMismatch) {
+  expect_throws_containing(
+      [] { MappedMatcher matcher(fixture_path("seed_mismatch.pfidx")); },
+      "hash seed");
+}
+
+TEST(MappedMatcher, RejectsTruncatedFile) {
+  expect_throws_containing(
+      [] { MappedMatcher matcher(fixture_path("truncated.pfidx")); },
+      "truncated");
+}
+
+TEST(MappedMatcher, RejectsHeaderShorterThanMinimum) {
+  const std::string path = temp_index_path("stub");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "PFMIDX1\n";  // magic only, nothing else
+  }
+  expect_throws_containing([&] { MappedMatcher matcher(path); }, "truncated");
+  std::remove(path.c_str());
+}
+
+// Deterministic feedback-free guess stream (same shape as the bench
+// generators): guess i is "pw<mix64(i) % period>", so the stream revisits
+// values and hits the test set throughout the run.
+class HashStreamGenerator : public GuessGenerator {
+ public:
+  explicit HashStreamGenerator(std::size_t period) : period_(period) {}
+  void generate(std::size_t n, std::vector<std::string>& out) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back("pw" + std::to_string(util::mix64(cursor_++) % period_));
+    }
+  }
+  std::string name() const override { return "hash-stream"; }
+
+ private:
+  std::size_t period_;
+  std::size_t cursor_ = 0;
+};
+
+// The acceptance bar for the disk-backed matcher: swapping it in changes
+// no metric. Everything an AttackSession reports — every checkpoint field
+// including the matched percentage, the match order, the non-matched
+// samples — must be bitwise identical to a run over HashSetMatcher on the
+// same key set.
+TEST(MappedMatcher, SessionMetricsBitwiseIdenticalToHashSet) {
+  const auto keys = make_keys(3000);
+  const std::string path = temp_index_path("session");
+  IndexBuilderConfig config;
+  config.num_shards = 4;
+  IndexBuilder::build(keys, path, config);
+  const HashSetMatcher hashset(keys);
+  const MappedMatcher mapped(path);
+
+  HashStreamGenerator generator_a(12000);
+  HashStreamGenerator generator_b(12000);
+  SessionConfig session_config;
+  session_config.budget = 60000;
+  session_config.chunk_size = 4096;
+  AttackSession session_a(generator_a, hashset, session_config);
+  AttackSession session_b(generator_b, mapped, session_config);
+  session_a.run();
+  session_b.run();
+
+  const SessionStats& stats_a = session_a.stats();
+  const SessionStats& stats_b = session_b.stats();
+  EXPECT_EQ(stats_a.produced, stats_b.produced);
+  EXPECT_EQ(stats_a.matched, stats_b.matched);
+  EXPECT_EQ(stats_a.unique, stats_b.unique);
+  EXPECT_EQ(stats_a.checkpoints_emitted, stats_b.checkpoints_emitted);
+  EXPECT_EQ(stats_a.finished, stats_b.finished);
+  EXPECT_GT(stats_b.matched, 0u);
+
+  const RunResult result_a = session_a.result();
+  const RunResult result_b = session_b.result();
+  ASSERT_EQ(result_a.checkpoints.size(), result_b.checkpoints.size());
+  for (std::size_t i = 0; i < result_a.checkpoints.size(); ++i) {
+    EXPECT_EQ(result_a.checkpoints[i].guesses, result_b.checkpoints[i].guesses);
+    EXPECT_EQ(result_a.checkpoints[i].unique, result_b.checkpoints[i].unique);
+    EXPECT_EQ(result_a.checkpoints[i].matched, result_b.checkpoints[i].matched);
+    // Bitwise: the denominators (test_set_size) agree, so the doubles do.
+    EXPECT_EQ(result_a.checkpoints[i].matched_percent,
+              result_b.checkpoints[i].matched_percent);
+  }
+  EXPECT_EQ(result_a.matched_passwords, result_b.matched_passwords);
+  EXPECT_EQ(result_a.sample_non_matched, result_b.sample_non_matched);
+  std::remove(path.c_str());
+}
+
+#if defined(__linux__)
+std::size_t resident_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  std::size_t total_pages = 0;
+  std::size_t resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  return resident_pages * static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+// Flushes and evicts `path` from the page cache, making the next probes
+// genuinely cold. Without this the just-written index sits in the cache as
+// large folios, and a fault maps a whole 2 MiB folio into the RSS —
+// measuring folio granularity, not the matcher's working set.
+void evict_from_page_cache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+#endif
+
+// The point of the mmap design: probing pages in only the slots and key
+// bytes it touches. Build an index several times larger than what the
+// probes will visit, then check the process's resident set grew by a small
+// fraction of the file — i.e. the index was paged, not loaded. (The
+// builder itself is bounded too: its peak in-memory shard is a fraction of
+// the final file.)
+TEST(MappedMatcher, ProbingLargeIndexKeepsRssBounded) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "resident-set measurement needs /proc/self/statm";
+#else
+  const std::string path = temp_index_path("large");
+  const std::size_t key_count = 400000;
+  const std::string padding(24, 'x');
+  IndexBuilderConfig config;
+  config.num_shards = 8;
+  IndexBuilder builder(config);
+  builder.begin(path);
+  std::string key;
+  for (std::size_t i = 0; i < key_count; ++i) {
+    key = "key-" + std::to_string(i) + "-" + padding;
+    builder.add(key);
+  }
+  const auto stats = builder.finish();
+  ASSERT_EQ(stats.keys_distinct, key_count);
+  ASSERT_GT(stats.file_bytes, 25u * 1024 * 1024);
+  // Bounded build memory: one shard at a time, never the whole index.
+  EXPECT_LT(stats.peak_shard_bytes, stats.file_bytes / 4);
+
+  evict_from_page_cache(path);
+  const std::size_t rss_before = resident_bytes();
+  const MappedMatcher mapped(path);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    // A thin, even sample of the key space: 100 hits + 100 misses fault in
+    // a few hundred cold pages (MADV_RANDOM, no readahead) of a ~10k-page
+    // file.
+    const std::string hit =
+        "key-" + std::to_string(i * (key_count / 100)) + "-" + padding;
+    const std::string miss = "miss-" + std::to_string(i);
+    if (mapped.contains(hit)) ++hits;
+    EXPECT_FALSE(mapped.contains(miss));
+  }
+  const std::size_t rss_after = resident_bytes();
+  EXPECT_EQ(hits, 100u);
+
+  const std::size_t growth =
+      rss_after > rss_before ? rss_after - rss_before : 0;
+  EXPECT_LT(growth, mapped.file_bytes() / 3)
+      << "probing resident growth " << growth << " of "
+      << mapped.file_bytes() << "-byte index — index loaded, not paged?";
+  std::remove(path.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace passflow::guessing

@@ -27,6 +27,13 @@ TEST(Matcher, EmptyTestSet) {
   EXPECT_FALSE(matcher.contains("anything"));
 }
 
+TEST(Matcher, ShardedRejectsZeroShards) {
+  // shard_of computes hash % num_shards; zero shards must fail loudly at
+  // construction, not divide by zero on the first probe.
+  EXPECT_THROW(ShardedMatcher({"alpha"}, 0), std::invalid_argument);
+  EXPECT_THROW(ShardedMatcher({}, 0), std::invalid_argument);
+}
+
 TEST(Matcher, ContainsBatchMatchesPerItemProbes) {
   HashSetMatcher matcher({"alpha", "beta", "gamma"});
   const std::vector<std::string> batch = {"alpha", "nope", "gamma", "",

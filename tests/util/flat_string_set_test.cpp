@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace passflow::util {
@@ -74,6 +76,74 @@ TEST(FlatStringSet, ReserveDoesNotChangeContents) {
   for (std::size_t i = 0; i < 100; ++i) {
     EXPECT_TRUE(set.contains("key-" + std::to_string(i)));
   }
+}
+
+// PR 4's UBSan find, pinned as a regression: a default-constructed
+// string_view has data() == nullptr, and passing that to memcmp (even with
+// length 0) is undefined behavior. Empty keys must work through both the
+// null-data and the valid-data-empty-range spellings, mixed with real keys
+// so the comparison paths actually run.
+TEST(FlatStringSet, EmptyStringViewWithNullDataIsSafe) {
+  const std::string_view null_data;  // data() == nullptr, size() == 0
+  ASSERT_EQ(null_data.data(), nullptr);
+  const std::string empty_storage;
+  const std::string_view valid_data(empty_storage);  // non-null, size() == 0
+
+  FlatStringSet set;
+  EXPECT_FALSE(set.contains(null_data));
+  EXPECT_TRUE(set.insert(null_data));
+  EXPECT_TRUE(set.contains(null_data));
+  // Both spellings are the same key.
+  EXPECT_FALSE(set.insert(valid_data));
+  EXPECT_TRUE(set.contains(valid_data));
+  EXPECT_EQ(set.size(), 1u);
+
+  // Force probes that compare the empty key against real keys and vice
+  // versa (same hash bucket collisions happen eventually across growth).
+  for (std::size_t i = 0; i < 5000; ++i) {
+    set.insert("k" + std::to_string(i));
+  }
+  EXPECT_TRUE(set.contains(null_data));
+  EXPECT_FALSE(set.insert(null_data));
+  EXPECT_EQ(set.size(), 5001u);
+}
+
+// Randomized property test: a long interleaved stream of inserts and
+// lookups (drawn from a small key space so duplicates and hits are common)
+// must agree with std::unordered_set op for op, through several table
+// growths, for both the plain and the caller-hashed insert paths.
+TEST(FlatStringSet, RandomizedOpsAgreeWithUnorderedSet) {
+  FlatStringSet set;
+  std::unordered_set<std::string> reference;
+  Rng rng(20220614);
+  const auto random_key = [&] {
+    if (rng.uniform_index(40) == 0) return std::string();  // empty key too
+    std::string key;
+    const std::size_t len = 1 + rng.uniform_index(10);
+    for (std::size_t c = 0; c < len; ++c) {
+      key.push_back(static_cast<char>('!' + rng.uniform_index(90)));
+    }
+    return key;
+  };
+  for (std::size_t op = 0; op < 100000; ++op) {
+    const std::string key = random_key();
+    switch (rng.uniform_index(4)) {
+      case 0:
+      case 1:
+        EXPECT_EQ(set.insert(key), reference.insert(key).second) << key;
+        break;
+      case 2:
+        EXPECT_EQ(set.insert_hashed(hash64(key), key),
+                  reference.insert(key).second)
+            << key;
+        break;
+      default:
+        EXPECT_EQ(set.contains(key), reference.count(key) > 0) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (const auto& key : reference) EXPECT_TRUE(set.contains(key));
 }
 
 TEST(FlatStringSet, ClearResets) {

@@ -141,6 +141,57 @@ TEST(ThreadPool, SubmitFromInsideSubmittedTask) {
   EXPECT_EQ(total, 31 * 32 / 2);
 }
 
+// A throwing task must store its exception in the future and otherwise
+// behave like a completed task: wait_all over a mixed batch (many tasks,
+// half of them throwing) has to propagate the first stored exception
+// without hanging, and the pool must stay fully usable afterwards.
+TEST(ThreadPool, ThrowingTasksDoNotWedgeWaitAll) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> completed{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.submit([&completed, i] {
+        if (i % 2 == 0) throw std::runtime_error("boom");
+        completed++;
+      }));
+    }
+    EXPECT_THROW(pool.wait_all(futures), std::runtime_error);
+    EXPECT_EQ(completed.load(), 16);
+  }
+  // Still healthy: plain submits and parallel_for run to completion.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  std::atomic<int> total{0};
+  pool.parallel_for(100, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 100);
+}
+
+// The single-worker case is the sharpest wedge test: the waiting thread
+// itself pops and runs the queued (throwing) tasks via the work-helping
+// wait, so the exception is raised on the helper's stack. It must be
+// captured into the future there — not escape into the wait loop — and the
+// wait must still return.
+TEST(ThreadPool, ExceptionsInsideWorkHelpingWaitsStayInFutures) {
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    // The only worker is busy running this task, so wait_all below must
+    // execute the inner tasks inline on this thread.
+    std::vector<std::future<void>> inners;
+    for (int i = 0; i < 8; ++i) {
+      inners.push_back(
+          pool.submit([] { throw std::runtime_error("inner boom"); }));
+    }
+    try {
+      pool.wait_all(inners);
+    } catch (const std::runtime_error&) {
+      return std::string("caught");
+    }
+    return std::string("no exception");
+  });
+  EXPECT_EQ(outer.get(), "caught");
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
 // parallel_for from a worker that is itself running a parallel_for chunk.
 TEST(ThreadPool, DoublyNestedParallelFor) {
   ThreadPool pool(2);
