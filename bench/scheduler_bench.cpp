@@ -1,7 +1,9 @@
 // Multi-scenario scheduler throughput bench: N attack scenarios over one
 // shared ShardedMatcher and one pool, run concurrently through
-// AttackScheduler vs the same N sessions run serially one after another.
-// Emits the JSON recorded in BENCH_scheduler.json.
+// AttackScheduler vs the same N sessions run serially one after another,
+// plus a QoS arm (deadline-boosted scenario 0, rate-capped last scenario)
+// reporting deadline misses and achieved-vs-cap rates. Emits the JSON
+// recorded in BENCH_scheduler.json.
 //
 //   ./scheduler_bench [--scenarios 4] [--budget 1000000] [--chunk 8192]
 //                     [--work 24] [--testset 100000] [--shards 8]
@@ -184,6 +186,66 @@ int main(int argc, char** argv) {
   }
   std::printf("  per-scenario metrics: bitwise identical across arms\n");
 
+  // ---- arm 3: the same fleet under QoS knobs ---------------------------
+  // Scenario 0 gets a deadline it cannot make (10% of the fair-share wall
+  // time), so effective-weight escalation runs for most of the arm;
+  // the last scenario is capped at half its fair-share rate, so the token
+  // bucket throttles it for real. The headline check: QoS reorders slices
+  // in time but every metric stays bitwise identical to the serial arm.
+  const double fleet_rate_per_scenario =
+      static_cast<double>(budget) / fleet_seconds;
+  const double rate_cap = 0.5 * fleet_rate_per_scenario;
+  const double deadline_seconds = 0.1 * fleet_seconds;
+  const std::size_t capped_index = scenarios - 1;
+  std::vector<pf::guessing::RunResult> qos_results;
+  std::vector<pf::guessing::ScenarioSnapshot> qos_snaps;
+  std::size_t qos_deadline_missed = 0;
+  double qos_seconds = 0.0;
+  {
+    std::vector<std::unique_ptr<WorkingStreamGenerator>> generators;
+    pf::guessing::SchedulerConfig fleet;
+    fleet.pool = &pool;
+    fleet.slice_chunks = slice;
+    fleet.max_concurrent = scenarios;
+    pf::guessing::AttackScheduler scheduler(fleet);
+    std::vector<std::size_t> ids;
+    for (std::size_t s = 0; s < scenarios; ++s) {
+      generators.push_back(std::make_unique<WorkingStreamGenerator>(
+          period, work, 1000003 * (s + 1)));
+      pf::guessing::ScenarioOptions options;
+      options.session = make_session_config();
+      if (s == 0) options.deadline_seconds = deadline_seconds;
+      if (s == capped_index) options.rate_cap = rate_cap;
+      ids.push_back(scheduler.add_scenario(
+          *generators[s], pf::guessing::MatcherRef(matcher), options));
+    }
+    pf::util::Timer timer;
+    scheduler.run();
+    qos_seconds = timer.elapsed_seconds();
+    qos_deadline_missed = scheduler.aggregate().deadline_missed;
+    for (const std::size_t id : ids) {
+      qos_snaps.push_back(scheduler.scenario(id));
+      qos_results.push_back(scheduler.result(id));
+    }
+  }
+  std::printf("  %-24s %7.2fs  %11.0f guesses/s  (%.2fx)\n", "scheduler_qos",
+              qos_seconds, total_guesses / qos_seconds,
+              serial_seconds / qos_seconds);
+  std::printf(
+      "    deadline_missed=%zu  capped scenario %zu: cap=%.0f achieved=%.0f "
+      "guesses/s\n",
+      qos_deadline_missed, capped_index, rate_cap,
+      qos_snaps[capped_index].achieved_guesses_per_second);
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    if (!same_run(serial_results[s], qos_results[s])) {
+      std::fprintf(
+          stderr,
+          "FATAL: scenario %zu metrics diverged under QoS scheduling\n", s);
+      return 1;
+    }
+  }
+  std::printf("  per-scenario metrics: bitwise identical under QoS\n");
+
   // ---- JSON record -----------------------------------------------------
   std::stringstream json;
   json << "{\n"
@@ -211,8 +273,23 @@ int main(int argc, char** argv) {
          << (last ? "" : ",") << "\n";
   };
   arm_json("serial_sessions", serial_seconds, false);
-  arm_json("scheduler_concurrent", fleet_seconds, true);
+  arm_json("scheduler_concurrent", fleet_seconds, false);
+  arm_json("scheduler_qos", qos_seconds, true);
   json << "  ],\n"
+       << "  \"qos\": {\n"
+       << "    \"deadline_boost\": 4.0,\n"
+       << "    \"deadline_missed\": " << qos_deadline_missed << ",\n"
+       << "    \"scenarios\": [\n";
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    json << "      { \"scenario\": " << s << ", \"deadline_seconds\": "
+         << qos_snaps[s].deadline_seconds << ", \"past_deadline\": "
+         << (qos_snaps[s].past_deadline ? "true" : "false")
+         << ", \"rate_cap\": " << qos_snaps[s].rate_cap
+         << ", \"achieved_guesses_per_second\": "
+         << static_cast<long long>(qos_snaps[s].achieved_guesses_per_second)
+         << " }" << (s + 1 < scenarios ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n"
        << "  \"scenario_metrics\": [\n";
   for (std::size_t s = 0; s < scenarios; ++s) {
     const auto& final_cp = fleet_results[s].final();

@@ -8,6 +8,7 @@
 //                               [--pipeline 4] [--sketch-unique false]
 //                               [--state attack.state]
 //                               [--scenarios static@0.8,static@1.0,dynamic+gs]
+//                               [--deadline 30] [--rate-cap 0,50000,0]
 //                               [--build-index targets.pfidx]
 //                               [--index targets.pfidx]
 //
@@ -23,7 +24,12 @@
 // but they all share one matcher and one worker-pool budget. static@SIGMA
 // sets the static sampler's prior stddev, so "static@0.6,static@1.0,
 // static@1.4" reproduces a sigma ablation in a single run. Ignores
-// --strategy/--state.
+// --strategy/--state. --deadline and --rate-cap attach per-scenario QoS in
+// fleet mode: each takes a comma-separated list matched positionally to
+// --scenarios (a single value broadcasts to every scenario; 0 = none).
+// Deadlines are soft wall-clock seconds — a scenario past its deadline is
+// scheduled with boosted effective weight; rate caps are guesses/second
+// enforced by per-scenario token buckets.
 //
 // --build-index writes the target set to a disk index at the given path
 // and attacks through the mmap-backed MappedMatcher instead of the
@@ -63,6 +69,8 @@ int main(int argc, char** argv) {
   const bool sketch_unique = flags.get_bool("sketch-unique", false);
   const std::string state_path = flags.get_string("state", "");
   const std::string scenarios_flag = flags.get_string("scenarios", "");
+  const std::string deadline_flag = flags.get_string("deadline", "");
+  const std::string rate_cap_flag = flags.get_string("rate-cap", "");
   const std::string index_path = flags.get_string("index", "");
   const std::string build_index_path = flags.get_string("build-index", "");
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
@@ -170,6 +178,43 @@ int main(int argc, char** argv) {
       labels.push_back(spec);
     }
 
+    // Positional QoS lists: one value per scenario, or a single value
+    // broadcast to all of them. 0 disables the knob for that scenario.
+    const auto parse_per_scenario = [&](const std::string& list,
+                                        const char* flag_name,
+                                        std::vector<double>& out) {
+      out.assign(samplers.size(), 0.0);
+      if (list.empty()) return true;
+      std::vector<double> values;
+      std::stringstream stream(list);
+      std::string item;
+      while (std::getline(stream, item, ',')) {
+        try {
+          values.push_back(std::stod(item));
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "bad value '%s' in --%s\n", item.c_str(),
+                       flag_name);
+          return false;
+        }
+      }
+      if (values.size() == 1) {
+        out.assign(samplers.size(), values[0]);
+      } else if (values.size() == samplers.size()) {
+        out = values;
+      } else {
+        std::fprintf(stderr,
+                     "--%s needs 1 value or one per scenario (%zu), got %zu\n",
+                     flag_name, samplers.size(), values.size());
+        return false;
+      }
+      return true;
+    };
+    std::vector<double> deadlines, rate_caps;
+    if (!parse_per_scenario(deadline_flag, "deadline", deadlines) ||
+        !parse_per_scenario(rate_cap_flag, "rate-cap", rate_caps)) {
+      return 1;
+    }
+
     pf::guessing::SchedulerConfig fleet;
     fleet.pool = &pf::util::shared_pool();
     pf::guessing::AttackScheduler scheduler(fleet);
@@ -179,6 +224,8 @@ int main(int argc, char** argv) {
       options.name = labels[i];
       options.session = session_config;
       options.session.log_progress = false;  // one summary table instead
+      options.deadline_seconds = deadlines[i];
+      options.rate_cap = rate_caps[i];
       ids.push_back(scheduler.add_scenario(*samplers[i], matcher, options));
     }
     std::printf("running %zu scenarios concurrently over %zu targets\n",
@@ -194,11 +241,26 @@ int main(int argc, char** argv) {
       std::printf("  %-14s %9zu guesses: %6zu matched (%.3f%%), %zu unique\n",
                   snap.name.c_str(), cp.guesses, cp.matched,
                   cp.matched_percent, cp.unique);
+      if (snap.deadline_seconds > 0.0 || snap.rate_cap > 0.0) {
+        std::printf("  %-14s   qos:", "");
+        if (snap.deadline_seconds > 0.0) {
+          std::printf(" deadline %.3gs %s", snap.deadline_seconds,
+                      snap.past_deadline ? "MISSED" : "met");
+        }
+        if (snap.rate_cap > 0.0) {
+          std::printf(" cap %.0f g/s (achieved %.0f)", snap.rate_cap,
+                      snap.achieved_guesses_per_second);
+        }
+        std::printf("\n");
+      }
     }
     const auto aggregate = scheduler.aggregate();
     std::printf("fleet total: %zu guesses, %zu matches, %.0f guesses/s\n",
                 aggregate.produced, aggregate.matched,
                 aggregate.guesses_per_second);
+    if (aggregate.deadline_missed > 0) {
+      std::printf("deadlines missed: %zu\n", aggregate.deadline_missed);
+    }
     if (aggregate.unique_union_valid) {
       std::printf("fleet-wide distinct guesses (merged sketch): ~%zu\n",
                   aggregate.unique_union);

@@ -9,18 +9,19 @@ namespace passflow::guessing {
 
 namespace {
 
-ScenarioSnapshot make_snapshot(std::size_t id, const std::string& name,
-                               double weight, ScenarioStatus status,
-                               std::size_t chunks_driven,
-                               const SessionStats& stats) {
-  ScenarioSnapshot snap;
-  snap.id = id;
-  snap.name = name;
-  snap.weight = weight;
-  snap.status = status;
-  snap.chunks_driven = chunks_driven;
-  snap.stats = stats;
-  return snap;
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::chrono::steady_clock::time_point after_seconds(
+    std::chrono::steady_clock::time_point from, double seconds) {
+  // Clamp: a near-zero rate cap can project a refill centuries out, which
+  // overflows the duration cast. An hour-late rescan is indistinguishable
+  // from "never" for scheduling purposes.
+  seconds = std::min(seconds, 3600.0);
+  return from + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
 }
 
 }  // namespace
@@ -42,6 +43,14 @@ AttackScheduler::AttackScheduler(SchedulerConfig config)
   if (config_.slice_chunks == 0) {
     throw std::invalid_argument("SchedulerConfig::slice_chunks must be > 0");
   }
+  if (!(config_.deadline_boost >= 1.0)) {
+    throw std::invalid_argument(
+        "SchedulerConfig::deadline_boost must be >= 1");
+  }
+  if (!(config_.rate_cap_burst_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "SchedulerConfig::rate_cap_burst_seconds must be > 0");
+  }
 }
 
 AttackScheduler::~AttackScheduler() = default;
@@ -52,6 +61,13 @@ std::size_t AttackScheduler::add_scenario(GuessGenerator& generator,
   if (!(options.weight > 0.0)) {
     throw std::invalid_argument("ScenarioOptions::weight must be > 0");
   }
+  if (options.deadline_seconds < 0.0) {
+    throw std::invalid_argument(
+        "ScenarioOptions::deadline_seconds must be >= 0");
+  }
+  if (options.rate_cap < 0.0) {
+    throw std::invalid_argument("ScenarioOptions::rate_cap must be >= 0");
+  }
   // One pool budget for the whole fleet: whatever the caller put in the
   // per-scenario config is overridden, by design.
   options.session.pool = config_.pool;
@@ -60,6 +76,19 @@ std::size_t AttackScheduler::add_scenario(GuessGenerator& generator,
   scenario->weight = options.weight;
   scenario->status = options.start_paused ? ScenarioStatus::kPaused
                                           : ScenarioStatus::kRunning;
+  const Clock::time_point now = Clock::now();
+  scenario->deadline_seconds = options.deadline_seconds;
+  scenario->has_deadline = options.deadline_seconds > 0.0;
+  if (scenario->has_deadline) {
+    scenario->deadline_at = after_seconds(now, options.deadline_seconds);
+  }
+  scenario->rate_cap = options.rate_cap;
+  if (scenario->rate_cap > 0.0) {
+    scenario->token_capacity =
+        scenario->rate_cap * config_.rate_cap_burst_seconds;
+    scenario->tokens = 0.0;  // no free initial burst: achieved rate <= cap
+    scenario->last_refill = now;
+  }
   scenario->session = std::make_unique<AttackSession>(
       generator, std::move(matcher), std::move(options.session));
   scenario->snapshot = scenario->session->stats();
@@ -73,15 +102,12 @@ std::size_t AttackScheduler::add_scenario(GuessGenerator& generator,
       scenario->name = "scenario-" + std::to_string(id);
     }
     // Late joiners start at the fleet's current virtual now (the minimum
-    // live virtual time), the standard fair-queuing rule: a scenario added
-    // mid-run gets its fair share from here on, it does not get to replay
-    // the past and starve everyone until it "catches up".
-    double virtual_now = std::numeric_limits<double>::infinity();
-    for (const auto& other : scenarios_) {
-      if (other->status != ScenarioStatus::kFinished && !other->removing) {
-        virtual_now = std::min(virtual_now, other->virtual_time);
-      }
-    }
+    // virtual time over *running* scenarios), the standard fair-queuing
+    // rule: a scenario added mid-run gets its fair share from here on, it
+    // does not get to replay the past and starve everyone until it
+    // "catches up". Paused scenarios are excluded — a long-parked
+    // scenario's stale clock must not drag late joiners into the past.
+    const double virtual_now = virtual_now_locked();
     scenario->virtual_time =
         virtual_now == std::numeric_limits<double>::infinity() ? 0.0
                                                                : virtual_now;
@@ -100,17 +126,67 @@ std::shared_ptr<AttackScheduler::Scenario> AttackScheduler::find_scenario(
                           std::to_string(id));
 }
 
-AttackScheduler::Scenario* AttackScheduler::pick_next_locked() const {
-  Scenario* best = nullptr;
+double AttackScheduler::virtual_now_locked() const {
+  double virtual_now = std::numeric_limits<double>::infinity();
   for (const auto& scenario : scenarios_) {
-    if (scenario->status != ScenarioStatus::kRunning || scenario->in_flight ||
-        scenario->removing) {
+    if (scenario->status == ScenarioStatus::kRunning && !scenario->removing) {
+      virtual_now = std::min(virtual_now, scenario->virtual_time);
+    }
+  }
+  return virtual_now;
+}
+
+bool AttackScheduler::past_deadline_locked(const Scenario& scenario) const {
+  if (!scenario.has_deadline) return false;
+  if (scenario.status == ScenarioStatus::kFinished) {
+    return scenario.missed_deadline;  // latched at finish time
+  }
+  return Clock::now() > scenario.deadline_at;
+}
+
+double AttackScheduler::effective_weight_locked(
+    const Scenario& scenario) const {
+  double weight = scenario.weight;
+  if (scenario.has_deadline && Clock::now() > scenario.deadline_at) {
+    weight *= config_.deadline_boost;
+  }
+  return weight;
+}
+
+AttackScheduler::Scenario* AttackScheduler::pick_next_locked(
+    Clock::time_point now, Clock::time_point* next_eligible) {
+  Scenario* best = nullptr;
+  for (const auto& entry : scenarios_) {
+    Scenario& scenario = *entry;
+    if (scenario.status != ScenarioStatus::kRunning || scenario.in_flight ||
+        scenario.removing) {
       continue;
+    }
+    if (scenario.rate_cap > 0.0) {
+      // Lazy token refill; the bucket may be negative from the last
+      // slice's debit, so eligibility is simply "back above zero".
+      const double elapsed = seconds_between(scenario.last_refill, now);
+      if (elapsed > 0.0) {
+        scenario.tokens = std::min(
+            scenario.token_capacity,
+            scenario.tokens + scenario.rate_cap * elapsed);
+        scenario.last_refill = now;
+      }
+      if (scenario.tokens <= 0.0) {
+        // Skipped without burning a slice; tell the caller when this
+        // bucket next crosses zero so a driver can park exactly that long.
+        const Clock::time_point refill_at = after_seconds(
+            now, (1.0 - scenario.tokens) / scenario.rate_cap);
+        if (next_eligible != nullptr && refill_at < *next_eligible) {
+          *next_eligible = refill_at;
+        }
+        continue;
+      }
     }
     // Strict < keeps the earliest-registered scenario on ties, so the
     // schedule is a pure function of weights and completion pattern.
-    if (best == nullptr || scenario->virtual_time < best->virtual_time) {
-      best = scenario.get();
+    if (best == nullptr || scenario.virtual_time < best->virtual_time) {
+      best = &scenario;
     }
   }
   return best;
@@ -132,7 +208,28 @@ void AttackScheduler::note_driving_started_locked() {
   }
 }
 
+void AttackScheduler::dispatch_locked(Scenario& scenario) {
+  scenario.in_flight = true;
+  ++active_slices_;
+  note_driving_started_locked();
+  if (!scenario.started) {
+    scenario.started = true;
+    scenario.first_slice_at = Clock::now();
+    scenario.last_slice_at = scenario.first_slice_at;
+  }
+}
+
+void AttackScheduler::mark_finished_locked(Scenario& scenario) const {
+  scenario.status = ScenarioStatus::kFinished;
+  if (scenario.has_deadline) {
+    scenario.missed_deadline = Clock::now() > scenario.deadline_at;
+  }
+}
+
 void AttackScheduler::run_slice(Scenario& scenario) {
+  // stats() is safe to read here: only the thread driving this slice
+  // touches the session, and in_flight excludes everyone else.
+  const std::size_t produced_before = scenario.session->stats().produced;
   std::size_t steps = 0;
   std::exception_ptr error;
   try {
@@ -143,19 +240,26 @@ void AttackScheduler::run_slice(Scenario& scenario) {
   } catch (...) {
     error = std::current_exception();
   }
+  const std::size_t produced_delta =
+      scenario.session->stats().produced - produced_before;
   {
     std::lock_guard<std::mutex> lock(mu_);
     scenario.chunks_driven += steps;
-    scenario.virtual_time += static_cast<double>(steps) / scenario.weight;
+    scenario.virtual_time +=
+        static_cast<double>(steps) / effective_weight_locked(scenario);
+    if (scenario.rate_cap > 0.0) {
+      scenario.tokens -= static_cast<double>(produced_delta);
+    }
+    scenario.last_slice_at = Clock::now();
     scenario.snapshot = scenario.session->stats();
     if (error) {
       // A broken session (generator threw, pipeline error) cannot take
       // more slices; park it as finished and surface the error to whoever
       // is driving.
-      scenario.status = ScenarioStatus::kFinished;
+      mark_finished_locked(scenario);
       if (!first_error_) first_error_ = error;
     } else if (scenario.session->finished()) {
-      scenario.status = ScenarioStatus::kFinished;
+      mark_finished_locked(scenario);
     }
     scenario.in_flight = false;
     --active_slices_;
@@ -167,12 +271,17 @@ bool AttackScheduler::step() {
   Scenario* scenario = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !quiesce_; });
-    scenario = pick_next_locked();
-    if (scenario == nullptr) return false;
-    scenario->in_flight = true;
-    ++active_slices_;
-    note_driving_started_locked();
+    for (;;) {
+      cv_.wait(lock, [&] { return quiesce_count_ == 0; });
+      Clock::time_point next_eligible = Clock::time_point::max();
+      scenario = pick_next_locked(Clock::now(), &next_eligible);
+      if (scenario != nullptr) break;
+      if (next_eligible == Clock::time_point::max()) return false;
+      // Everything runnable is rate-capped out: the fleet is throttled,
+      // not drained, so sleep to the earliest refill and try again.
+      cv_.wait_until(lock, next_eligible);
+    }
+    dispatch_locked(*scenario);
   }
   run_slice(*scenario);
   {
@@ -192,17 +301,28 @@ void AttackScheduler::driver_loop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
-        if (!quiesce_) scenario = pick_next_locked();
+        Clock::time_point next_eligible = Clock::time_point::max();
+        if (quiesce_count_ == 0) {
+          scenario = pick_next_locked(Clock::now(), &next_eligible);
+        }
         if (scenario != nullptr) break;
         // Exit only when the fleet is truly drained: nothing runnable
-        // (ignoring the quiesce gate — that is temporary) and no slice in
-        // flight that could finish and unpark more work.
+        // (ignoring the quiesce gate — that is temporary — and rate caps,
+        // which merely delay) and no slice in flight that could finish
+        // and unpark more work.
         if (active_slices_ == 0 && !any_runnable_locked()) return;
-        cv_.wait(lock);
+        // Park instead of spinning through empty picks; add_scenario,
+        // resume_scenario and slice completions notify, and a pending
+        // token-bucket refill bounds the wait.
+        ++parked_drivers_;
+        if (next_eligible != Clock::time_point::max()) {
+          cv_.wait_until(lock, next_eligible);
+        } else {
+          cv_.wait(lock);
+        }
+        --parked_drivers_;
       }
-      scenario->in_flight = true;
-      ++active_slices_;
-      note_driving_started_locked();
+      dispatch_locked(*scenario);
     }
     run_slice(*scenario);
   }
@@ -251,23 +371,40 @@ std::size_t AttackScheduler::scenario_count() const {
   return scenarios_.size();
 }
 
+ScenarioSnapshot AttackScheduler::snapshot_locked(
+    const Scenario& scenario) const {
+  ScenarioSnapshot snap;
+  snap.id = scenario.id;
+  snap.name = scenario.name;
+  snap.weight = scenario.weight;
+  snap.status = scenario.status;
+  snap.chunks_driven = scenario.chunks_driven;
+  snap.stats = scenario.snapshot;
+  snap.deadline_seconds = scenario.deadline_seconds;
+  snap.past_deadline = past_deadline_locked(scenario);
+  snap.rate_cap = scenario.rate_cap;
+  if (scenario.started) {
+    const double wall =
+        seconds_between(scenario.first_slice_at, scenario.last_slice_at);
+    if (wall > 0.0) {
+      snap.achieved_guesses_per_second =
+          static_cast<double>(scenario.snapshot.produced) / wall;
+    }
+  }
+  return snap;
+}
+
 ScenarioSnapshot AttackScheduler::scenario(std::size_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::shared_ptr<Scenario> scenario = find_scenario(id);
-  return make_snapshot(scenario->id, scenario->name, scenario->weight,
-                       scenario->status, scenario->chunks_driven,
-                       scenario->snapshot);
+  return snapshot_locked(*find_scenario(id));
 }
 
 std::vector<ScenarioSnapshot> AttackScheduler::scenarios() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ScenarioSnapshot> snaps;
   snaps.reserve(scenarios_.size());
-  for (const auto& scenario : scenarios_) {
-    snaps.push_back(make_snapshot(scenario->id, scenario->name,
-                                  scenario->weight, scenario->status,
-                                  scenario->chunks_driven,
-                                  scenario->snapshot));
+  for (const auto& entry : scenarios_) {
+    snaps.push_back(snapshot_locked(*entry));
   }
   return snaps;
 }
@@ -286,6 +423,17 @@ void AttackScheduler::resume_scenario(std::size_t id) {
     std::lock_guard<std::mutex> lock(mu_);
     const std::shared_ptr<Scenario> scenario = find_scenario(id);
     if (scenario->status == ScenarioStatus::kPaused) {
+      // Fair-queuing resume rule: a long-paused scenario's virtual clock is
+      // stale-small, and left alone it would monopolize every driver until
+      // it "caught up" with the fleet. Advance it to the fleet's virtual
+      // now (it was paused, so it is excluded from the scan) — it resumes
+      // competing for its fair share from this moment, exactly like a late
+      // joiner. max() keeps a scenario *ahead* of the fleet ahead.
+      const double virtual_now = virtual_now_locked();
+      if (virtual_now != std::numeric_limits<double>::infinity()) {
+        scenario->virtual_time =
+            std::max(scenario->virtual_time, virtual_now);
+      }
       scenario->status = ScenarioStatus::kRunning;
     }
   }
@@ -293,37 +441,54 @@ void AttackScheduler::resume_scenario(std::size_t id) {
 }
 
 RunResult AttackScheduler::remove_scenario(std::size_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // The shared_ptr keeps the scenario alive across the wait even if a
-  // concurrent remove_scenario(id) erases the vector entry first.
-  const std::shared_ptr<Scenario> scenario = find_scenario(id);
-  scenario->removing = true;  // no new slices from this point
-  cv_.wait(lock, [&] { return !scenario->in_flight; });
-  bool erased = false;
-  for (auto it = scenarios_.begin(); it != scenarios_.end(); ++it) {
-    if (it->get() == scenario.get()) {
-      scenarios_.erase(it);
-      erased = true;
-      break;
+  std::shared_ptr<Scenario> scenario;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // The shared_ptr keeps the scenario alive across the wait even if a
+    // concurrent remove_scenario(id) erases the vector entry first.
+    scenario = find_scenario(id);
+    scenario->removing = true;  // no new slices from this point
+    cv_.wait(lock, [&] { return !scenario->in_flight; });
+    bool erased = false;
+    for (auto it = scenarios_.begin(); it != scenarios_.end(); ++it) {
+      if (it->get() == scenario.get()) {
+        scenarios_.erase(it);
+        erased = true;
+        break;
+      }
+    }
+    if (!erased) {
+      throw std::out_of_range("AttackScheduler: scenario " +
+                              std::to_string(id) + " was already removed");
     }
   }
-  if (!erased) {
-    throw std::out_of_range("AttackScheduler: scenario " +
-                            std::to_string(id) + " was already removed");
-  }
-  RunResult result = scenario->session->result();
-  lock.unlock();
   cv_.notify_all();  // drained drivers may now be able to exit
+  // The result copy is built outside mu_ — the scenario is out of the
+  // vector, so no driver can reach it and the copy can take its time.
+  RunResult result = scenario->session->result();
   return result;
   // `scenario` (and its session, joining any pipeline threads) is
   // destroyed here, after the lock is released.
 }
 
 RunResult AttackScheduler::result(std::size_t id) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  const std::shared_ptr<Scenario> scenario = find_scenario(id);
-  cv_.wait(lock, [&] { return !scenario->in_flight; });
-  return scenario->session->result();
+  std::shared_ptr<Scenario> scenario;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    scenario = find_scenario(id);
+    cv_.wait(lock, [&] { return !scenario->in_flight; });
+    // Reserve the scenario so no new slice dispatches while the result is
+    // copied outside the lock; remove_scenario waits on the same flag, so
+    // the session cannot be torn down under the copy either.
+    scenario->in_flight = true;
+  }
+  RunResult result = scenario->session->result();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scenario->in_flight = false;
+  }
+  cv_.notify_all();
+  return result;
 }
 
 SchedulerStats AttackScheduler::aggregate() const {
@@ -334,13 +499,17 @@ SchedulerStats AttackScheduler::aggregate() const {
   std::unique_lock<std::mutex> lock(mu_);
   // Quiesce: park slice dispatch and wait for in-flight slices to land so
   // every session is readable at a chunk boundary. Slices are chunk-sized,
-  // so the stall is brief. Nothing below may leak an exception — an
-  // unwind would leave quiesce_ set and wedge every driver forever.
-  quiesce_ = true;
+  // so the stall is brief. The gate is a counter so concurrent aggregate()
+  // calls compose: dispatch stays parked until the last merge finishes.
+  // Nothing below may leak an exception — an unwind would leave the count
+  // raised and wedge every driver forever; errors are deferred through
+  // first_error_ and rethrown after the gate is released.
+  ++quiesce_count_;
   cv_.wait(lock, [&] { return active_slices_ == 0; });
 
   SchedulerStats stats;
   stats.scenarios = scenarios_.size();
+  stats.parked_drivers = parked_drivers_;
   stats.unique_union_valid = !scenarios_.empty();
   for (const auto& scenario : scenarios_) {
     switch (scenario->status) {
@@ -354,6 +523,7 @@ SchedulerStats AttackScheduler::aggregate() const {
         ++stats.finished;
         break;
     }
+    if (past_deadline_locked(*scenario)) ++stats.deadline_missed;
     stats.produced += scenario->snapshot.produced;
     stats.matched += scenario->snapshot.matched;
     if (stats.unique_union_valid) {
@@ -365,10 +535,10 @@ SchedulerStats AttackScheduler::aggregate() const {
         stats.unique_union_valid = false;  // sketch precision mismatch
       } catch (...) {
         // A broken session (merge_unique_sketch surfaces stored pipeline
-        // errors) cannot contribute or take more slices; park it and hand
-        // the error to whoever drives next, like a failed slice would.
+        // errors) cannot contribute or take more slices; park it and defer
+        // the error like a failed slice would.
         stats.unique_union_valid = false;
-        scenario->status = ScenarioStatus::kFinished;
+        mark_finished_locked(*scenario);
         if (!first_error_) first_error_ = std::current_exception();
       }
     }
@@ -380,9 +550,19 @@ SchedulerStats AttackScheduler::aggregate() const {
           ? static_cast<double>(stats.produced) / stats.seconds
           : 0.0;
 
-  quiesce_ = false;
+  --quiesce_count_;
+  // Take any pending error while still locked; rethrow only after the
+  // gate is released so a throwing aggregate() can never wedge the fleet.
+  // This is also the only surfacing path for an error raised after the
+  // fleet finished (no driver will ever rethrow it).
+  std::exception_ptr error;
+  if (quiesce_count_ == 0 && first_error_) {
+    error = first_error_;
+    first_error_ = nullptr;
+  }
   lock.unlock();
   cv_.notify_all();
+  if (error) std::rethrow_exception(error);
   return stats;
 }
 

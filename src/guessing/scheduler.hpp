@@ -40,8 +40,22 @@
 // and merges every session's distinct-guess state into one
 // CardinalitySketch (register-max for sketch trackers, key re-insertion
 // for exact ones — same hash64 family, so the union composes exactly).
+//
+// QoS: on top of the fair-share base policy, every scenario can carry a
+// soft deadline and a guess-rate cap. A scenario past its deadline
+// advances its virtual clock at weight * deadline_boost — effective-weight
+// escalation, so late work drains faster without starving anyone outright.
+// A rate-capped scenario draws slices from a token bucket refilled at
+// `rate_cap` guesses/second; a scenario whose bucket is empty is skipped
+// by pick_next_locked() without burning a slice, and drivers with nothing
+// eligible park on the cv (timed to the earliest bucket refill) instead of
+// spinning — SchedulerStats::parked_drivers counts them. QoS knobs change
+// only *when* a scenario is driven, never *what* it computes, so the
+// per-scenario bitwise-metrics invariant holds with any mix of deadlines
+// and caps.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -74,6 +88,18 @@ struct SchedulerConfig {
   // Precision of the fleet-wide union sketch built by aggregate().
   // Sketch-mode sessions must use the same precision to contribute.
   unsigned unique_union_precision_bits = 14;
+
+  // Effective-weight multiplier for a scenario past its soft deadline: its
+  // virtual clock advances as if its weight were weight * deadline_boost,
+  // so it takes roughly deadline_boost slices for every one an equal-weight
+  // on-time peer gets. Must be >= 1 (1 disables escalation).
+  double deadline_boost = 4.0;
+
+  // Token-bucket capacity for rate-capped scenarios, in seconds of cap
+  // (capacity = rate_cap * rate_cap_burst_seconds guesses). Buckets start
+  // empty and never accumulate more than this, so a scenario idle behind
+  // its cap can burst at most this far ahead afterwards. Must be > 0.
+  double rate_cap_burst_seconds = 0.25;
 };
 
 enum class ScenarioStatus {
@@ -89,6 +115,19 @@ struct ScenarioOptions {
   double weight = 1.0;        // fair-share weight (> 0)
   bool start_paused = false;  // register without becoming runnable
   SessionConfig session;      // per-scenario engine config (pool overridden)
+
+  // Soft deadline in wall-clock seconds from registration; 0 = none. A
+  // scenario past its deadline gets effective-weight escalation (see
+  // SchedulerConfig::deadline_boost) and counts toward
+  // SchedulerStats::deadline_missed.
+  double deadline_seconds = 0.0;
+
+  // Guess-rate cap in guesses/second; 0 = uncapped. Enforced by a per-
+  // scenario token bucket consulted at slice-pick time: an empty bucket
+  // skips the scenario without burning a slice, and the actually produced
+  // guesses of each slice are debited afterwards (the bucket may run one
+  // slice negative, so the long-run achieved rate converges on the cap).
+  double rate_cap = 0.0;
 };
 
 // Point-in-time copy of one scenario's public state; safe to hold after
@@ -100,6 +139,16 @@ struct ScenarioSnapshot {
   ScenarioStatus status = ScenarioStatus::kRunning;
   std::size_t chunks_driven = 0;
   SessionStats stats;
+
+  // QoS view. `past_deadline` is latched at finish time (a scenario that
+  // finished on time stays on time even after its deadline passes);
+  // `achieved_guesses_per_second` is wall-clock — first slice dispatch to
+  // last slice completion — which is what a rate cap constrains (the
+  // session's own guesses_per_second counts only active driving time).
+  double deadline_seconds = 0.0;  // 0 = none
+  bool past_deadline = false;
+  double rate_cap = 0.0;  // 0 = uncapped
+  double achieved_guesses_per_second = 0.0;
 };
 
 // Fleet-level aggregate. `unique_union` is the merged-sketch estimate of
@@ -116,6 +165,13 @@ struct SchedulerStats {
   double guesses_per_second = 0.0;
   std::size_t unique_union = 0;
   bool unique_union_valid = false;
+  // run() driver threads currently parked on the cv waiting for eligible
+  // work (fewer runnable scenarios than drivers, every runnable scenario
+  // rate-capped out, or an aggregate() quiesce in progress).
+  std::size_t parked_drivers = 0;
+  // Scenarios past their soft deadline: finished scenarios that finished
+  // late (latched) plus live scenarios currently past it.
+  std::size_t deadline_missed = 0;
 };
 
 class AttackScheduler {
@@ -147,7 +203,9 @@ class AttackScheduler {
 
   // Drives one slice of the next runnable scenario on the calling thread.
   // Returns false (doing nothing) when nothing is runnable — every active
-  // scenario finished or paused.
+  // scenario finished or paused. When every runnable scenario is merely
+  // rate-capped out, step() sleeps until the earliest bucket refill and
+  // then drives — the fleet is not drained, just throttled.
   bool step();
 
   // Drives slices on up to max_concurrent driver threads until nothing is
@@ -162,14 +220,24 @@ class AttackScheduler {
   ScenarioSnapshot scenario(std::size_t id) const;
   std::vector<ScenarioSnapshot> scenarios() const;  // registration order
 
-  // Results of one scenario (waits for its in-flight slice to land).
+  // Results of one scenario (waits for its in-flight slice to land, then
+  // reserves the scenario so no new slice dispatches while the result is
+  // copied — outside the scheduler lock). Callable any number of times;
+  // on a finished scenario every call returns the same values.
   RunResult result(std::size_t id) const;
 
   // Fleet aggregate; briefly quiesces slice dispatch so every session can
-  // be read at a chunk boundary.
+  // be read at a chunk boundary. Concurrent aggregate() calls compose (the
+  // quiesce gate is a counter, so slices stay parked until the last one
+  // finishes). If a slice or merge error is pending — including one raised
+  // after the fleet finished, which no driver would ever rethrow — it is
+  // rethrown here once the quiesce gate has been released, so errors are
+  // never silently swallowed.
   SchedulerStats aggregate() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Scenario {
     std::size_t id = 0;
     std::string name;
@@ -181,6 +249,19 @@ class AttackScheduler {
     double virtual_time = 0.0;
     std::unique_ptr<AttackSession> session;
     SessionStats snapshot;  // refreshed after every slice, under mu_
+
+    // ---- QoS state (all under mu_) ----
+    double deadline_seconds = 0.0;  // as registered; 0 = none
+    bool has_deadline = false;
+    bool missed_deadline = false;  // latched when the scenario finishes late
+    Clock::time_point deadline_at{};
+    double rate_cap = 0.0;        // guesses/s; 0 = uncapped
+    double tokens = 0.0;          // bucket level; a slice may run it negative
+    double token_capacity = 0.0;  // rate_cap * rate_cap_burst_seconds
+    Clock::time_point last_refill{};
+    bool started = false;  // first slice dispatched
+    Clock::time_point first_slice_at{};
+    Clock::time_point last_slice_at{};
   };
 
   // All private helpers assume mu_ is held unless noted. Waiting with a
@@ -188,8 +269,21 @@ class AttackScheduler {
   // concurrent remove_scenario may erase the vector entry, and only the
   // shared_ptr keeps the object alive for the waiter's predicate.
   std::shared_ptr<Scenario> find_scenario(std::size_t id) const;
-  Scenario* pick_next_locked() const;
+  // Fair pick over eligible scenarios; refills rate-cap buckets as a side
+  // effect. When nothing is eligible but some runnable scenario is only
+  // rate-capped out, *next_eligible is lowered to its projected refill
+  // time (callers use it for a timed park); untouched otherwise.
+  Scenario* pick_next_locked(Clock::time_point now,
+                             Clock::time_point* next_eligible);
   bool any_runnable_locked() const;
+  double virtual_now_locked() const;  // min virtual_time over kRunning
+  double effective_weight_locked(const Scenario& scenario) const;
+  bool past_deadline_locked(const Scenario& scenario) const;
+  void dispatch_locked(Scenario& scenario);
+  // const: touches only the scenario (latching its deadline outcome), so
+  // aggregate() can park a broken session it trips over.
+  void mark_finished_locked(Scenario& scenario) const;
+  ScenarioSnapshot snapshot_locked(const Scenario& scenario) const;
   void run_slice(Scenario& scenario);  // called WITHOUT mu_ held
   void driver_loop();
   void note_driving_started_locked();
@@ -201,9 +295,15 @@ class AttackScheduler {
   std::vector<std::shared_ptr<Scenario>> scenarios_;  // registration order
   std::size_t next_id_ = 0;
   std::size_t active_slices_ = 0;
-  mutable bool quiesce_ = false;  // aggregate() gate: no new slices while set
-  // First slice/merge failure; rethrown by step()/run(). Mutable because
-  // aggregate() (const) parks a broken session it trips over.
+  std::size_t parked_drivers_ = 0;  // run() drivers waiting on cv_
+  // aggregate() gate: no new slices while > 0. A counter, not a flag, so
+  // concurrent aggregate() calls compose — the gate only lifts when the
+  // last one finishes.
+  mutable std::size_t quiesce_count_ = 0;
+  // First slice/merge failure; rethrown by step()/run()/aggregate().
+  // Mutable because aggregate() (const) parks a broken session it trips
+  // over and rethrows pending errors a finished fleet would otherwise
+  // swallow.
   mutable std::exception_ptr first_error_;
 
   util::Timer timer_;

@@ -134,6 +134,11 @@ void AttackSession::serial_step() {
 }
 
 void AttackSession::pipelined_step() {
+  // A pipeline error can abort the previous step between consuming a chunk
+  // and emitting its checkpoint. Emit anything due *before* consuming the
+  // next chunk, so the retried checkpoint still reads the tracker at its
+  // own boundary (the restarted drain re-folds the backlog first).
+  emit_due_checkpoints();
   std::shared_ptr<Chunk> chunk;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -212,6 +217,10 @@ void AttackSession::tracker_drain() {
       // including this cv. (Waking a consumer parked on a checkpoint
       // sync is why the notify exists at all.)
       std::lock_guard<std::mutex> lock(mu_);
+      // Requeue at the front: the chunk was consumed, so its guesses are
+      // owed to the tracker — a restarted pipeline re-folds it (folds are
+      // set unions, so order does not matter) instead of losing it.
+      tracking_.push_front(std::move(chunk));
       pipeline_error_ = std::current_exception();
       tracker_task_active_ = false;
       cv_.notify_all();
@@ -338,7 +347,13 @@ void AttackSession::start_pipeline() {
   tracker_stop_ = false;
   pipeline_error_ = nullptr;
   consumed_chunks_ = next_chunk_;
-  tracked_chunks_ = next_chunk_;
+  // A pipeline torn down by an error (pause_pipeline after a throwing
+  // tracker fold) can leave consumed-but-unfolded chunks in `tracking_`.
+  // The restarted tracker stage will fold them and bump tracked_chunks_
+  // once each, so the counter must start short by exactly that backlog —
+  // seeding it at next_chunk_ would leave tracked_chunks_ permanently
+  // ahead of consumed_chunks_ and wedge every checkpoint sync barrier.
+  tracked_chunks_ = next_chunk_ - tracking_.size();
   generated_chunks_ = next_chunk_ + pending_.size();
   // Thawed chunks re-enter at the head of the ready queue; the producer
   // resumes generating after them (the generator's stream is already
@@ -352,6 +367,14 @@ void AttackSession::start_pipeline() {
   producer_thread_ = std::thread(&AttackSession::producer_loop, this);
   if (tracker_stage_ && !tracker_on_pool_) {
     tracker_thread_ = std::thread(&AttackSession::tracker_loop, this);
+  } else if (tracker_on_pool_ && !tracking_.empty()) {
+    // Re-drain the error backlog now: if the run is already at its last
+    // chunk, no schedule_tracker_chunk() will ever come along to spawn the
+    // drain, and the sync barrier would wait on `tracking_` forever. All
+    // pipeline state is in place, so the task can run immediately; no lock
+    // needed — the producer thread never touches tracker state.
+    tracker_task_active_ = true;
+    tracker_future_ = config_.pool->submit([this] { tracker_drain(); });
   }
 }
 
@@ -433,9 +456,9 @@ void AttackSession::producer_loop() {
 }
 
 void AttackSession::tracker_loop() {
+  std::shared_ptr<Chunk> chunk;
   try {
     for (;;) {
-      std::shared_ptr<Chunk> chunk;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [&] { return tracker_stop_ || !tracking_.empty(); });
@@ -444,6 +467,7 @@ void AttackSession::tracker_loop() {
         tracking_.pop_front();
       }
       tracker_->add_batch(chunk->batch, config_.pool);
+      chunk.reset();
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++tracked_chunks_;
@@ -453,6 +477,9 @@ void AttackSession::tracker_loop() {
     }
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
+    // Same requeue as the pool drain: the consumed chunk's guesses are
+    // still owed to the tracker; a restarted pipeline re-folds it.
+    if (chunk) tracking_.push_front(std::move(chunk));
     pipeline_error_ = std::current_exception();
     cv_.notify_all();
   }

@@ -224,6 +224,12 @@ class AttackSession {
   std::deque<std::shared_ptr<Chunk>> tracking_;  // consumer -> tracker
   std::deque<std::shared_ptr<Chunk>> pending_;   // thawed / paused chunks
   std::size_t generated_chunks_ = 0;  // producer cursor into schedule_
+  // Checkpoint syncs barrier on `tracking_.empty() && tracked_chunks_ ==
+  // consumed_chunks_`. Both counters are re-seeded from next_chunk_ on
+  // every pipeline (re)start; an error teardown can leave consumed-but-
+  // unfolded chunks in `tracking_` (the erroring chunk is requeued, never
+  // dropped), so the restart seeds tracked_chunks_ short by that backlog
+  // and re-spawns the drain — otherwise the barrier could never close.
   std::size_t consumed_chunks_ = 0;
   std::size_t tracked_chunks_ = 0;
   std::size_t published_unique_ = 0;

@@ -1,0 +1,314 @@
+// AttackScheduler QoS suite: soft deadlines (effective-weight escalation),
+// per-scenario guess-rate caps (token buckets at pick time), driver
+// parking, and the resume/late-join virtual-time rules. Runs under the
+// `thread_safety` CTest label so the TSan job covers the run() paths. The
+// load-bearing invariant throughout: QoS changes only *when* a scenario is
+// driven, never *what* it computes — per-scenario metrics stay bitwise
+// equal to solo runs with any mix of deadlines and caps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "guessing/scheduler.hpp"
+#include "reference_harness.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+using testing::MixingGenerator;
+using testing::ReferenceConfig;
+using testing::reference_run;
+
+std::vector<std::string> mixing_targets(std::size_t period = 1 << 14) {
+  std::vector<std::string> targets;
+  for (std::size_t v = 0; v < period; v += 7) {
+    targets.push_back("g" + std::to_string(v));
+  }
+  return targets;
+}
+
+SessionConfig chunked_config(std::size_t budget, std::size_t chunk_size) {
+  SessionConfig config;
+  config.budget = budget;
+  config.chunk_size = chunk_size;
+  config.checkpoints = {budget};
+  return config;
+}
+
+RunResult expected_run(const Matcher& matcher, std::size_t period,
+                       std::size_t budget, std::size_t chunk_size) {
+  MixingGenerator generator(period);
+  ReferenceConfig config;
+  config.budget = budget;
+  config.chunk_size = chunk_size;
+  config.checkpoints = {budget};
+  return reference_run(generator, matcher, config);
+}
+
+// (a) A scenario past its soft deadline overtakes an equal-weight peer:
+// with deadline_boost = 4 its virtual clock advances at 1/4 the rate, so
+// it should take ~4 slices for every one the on-time peer gets.
+TEST(SchedulerQoS, PastDeadlineScenarioOvertakesEqualWeightPeer) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  fleet.deadline_boost = 4.0;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator late, on_time;
+  ScenarioOptions late_options;
+  late_options.session = chunked_config(10000, 100);  // 100 chunks
+  late_options.deadline_seconds = 1e-6;  // past before the first slice
+  ScenarioOptions peer_options;
+  peer_options.session = chunked_config(10000, 100);
+  const std::size_t late_id =
+      scheduler.add_scenario(late, matcher, late_options);
+  const std::size_t peer_id =
+      scheduler.add_scenario(on_time, matcher, peer_options);
+
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(scheduler.step());
+
+  const std::size_t late_chunks = scheduler.scenario(late_id).chunks_driven;
+  const std::size_t peer_chunks = scheduler.scenario(peer_id).chunks_driven;
+  EXPECT_EQ(late_chunks + peer_chunks, 50u);
+  // ~4:1 (the first slice or two may land before the 1us deadline is
+  // observed, so the split is asserted as a band, not an exact count).
+  EXPECT_GE(late_chunks, 35u);
+  EXPECT_LE(late_chunks, 45u);
+  EXPECT_TRUE(scheduler.scenario(late_id).past_deadline);
+  EXPECT_FALSE(scheduler.scenario(peer_id).past_deadline);
+  EXPECT_EQ(scheduler.aggregate().deadline_missed, 1u);
+}
+
+// (b) A rate-capped scenario's wall-clock achieved guesses/s converges on
+// its cap (within 10%) while an uncapped peer absorbs the slack.
+TEST(SchedulerQoS, RateCapHoldsAchievedRateWithinTenPercent) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  fleet.max_concurrent = 2;
+  AttackScheduler scheduler(fleet);
+
+  const double cap = 1000.0;  // guesses/s
+  MixingGenerator capped, uncapped;
+  ScenarioOptions capped_options;
+  // 24 chunks of 25 guesses: one chunk per ~25ms of refill, so the token
+  // waits dominate and per-slice overhead (even under TSan) is noise.
+  capped_options.session = chunked_config(600, 25);
+  capped_options.rate_cap = cap;
+  ScenarioOptions uncapped_options;
+  uncapped_options.session = chunked_config(30000, 1000);
+  const std::size_t capped_id =
+      scheduler.add_scenario(capped, matcher, capped_options);
+  const std::size_t uncapped_id =
+      scheduler.add_scenario(uncapped, matcher, uncapped_options);
+
+  scheduler.run();
+  EXPECT_TRUE(scheduler.finished());
+
+  const ScenarioSnapshot capped_snap = scheduler.scenario(capped_id);
+  const ScenarioSnapshot uncapped_snap = scheduler.scenario(uncapped_id);
+  ASSERT_EQ(capped_snap.status, ScenarioStatus::kFinished);
+  ASSERT_EQ(uncapped_snap.status, ScenarioStatus::kFinished);
+  EXPECT_EQ(capped_snap.rate_cap, cap);
+  EXPECT_GE(capped_snap.achieved_guesses_per_second, 0.90 * cap);
+  EXPECT_LE(capped_snap.achieved_guesses_per_second, 1.10 * cap);
+  // The uncapped peer was never throttled: it ran flat out while the
+  // capped scenario's bucket refilled.
+  EXPECT_GT(uncapped_snap.achieved_guesses_per_second,
+            capped_snap.achieved_guesses_per_second);
+}
+
+// (c) Resume-starvation regression: a scenario paused for 10k chunks of
+// fleet progress must resume at the fleet's virtual now and take its
+// weight-proportional share — not monopolize every slice until its stale
+// virtual clock "catches up".
+TEST(SchedulerQoS, ResumedScenarioTakesFairShareNotEverything) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator runner, parked;
+  ScenarioOptions options;
+  options.session = chunked_config(200000, 10);  // 20k chunks each
+  const std::size_t runner_id =
+      scheduler.add_scenario(runner, matcher, options);
+  const std::size_t parked_id =
+      scheduler.add_scenario(parked, matcher, options);
+
+  scheduler.pause_scenario(parked_id);
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(scheduler.step());
+  ASSERT_EQ(scheduler.scenario(runner_id).chunks_driven, 10000u);
+  ASSERT_EQ(scheduler.scenario(parked_id).chunks_driven, 0u);
+
+  scheduler.resume_scenario(parked_id);
+  const std::size_t runner_before = scheduler.scenario(runner_id).chunks_driven;
+  const std::size_t parked_before = scheduler.scenario(parked_id).chunks_driven;
+  for (int i = 0; i < 400; ++i) ASSERT_TRUE(scheduler.step());
+  const std::size_t runner_share =
+      scheduler.scenario(runner_id).chunks_driven - runner_before;
+  const std::size_t parked_share =
+      scheduler.scenario(parked_id).chunks_driven - parked_before;
+  EXPECT_EQ(runner_share + parked_share, 400u);
+  // Equal weights => ~50/50. Before the fix the resumed scenario took all
+  // 400 slices (10000 chunks of virtual time to catch up on).
+  EXPECT_GE(parked_share, 150u);
+  EXPECT_LE(parked_share, 250u);
+}
+
+// Companion regression: the late-join virtual-now scan must ignore paused
+// scenarios, or a parked scenario's frozen clock drags newcomers into the
+// past and they monopolize the fleet exactly like a stale resume.
+TEST(SchedulerQoS, LateJoinIgnoresPausedVirtualClocks) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator parked, runner, late;
+  ScenarioOptions options;
+  options.session = chunked_config(200000, 10);
+  const std::size_t parked_id =
+      scheduler.add_scenario(parked, matcher, options);
+  const std::size_t runner_id =
+      scheduler.add_scenario(runner, matcher, options);
+  scheduler.pause_scenario(parked_id);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(scheduler.step());
+
+  const std::size_t late_id = scheduler.add_scenario(late, matcher, options);
+  const std::size_t runner_before = scheduler.scenario(runner_id).chunks_driven;
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(scheduler.step());
+  const std::size_t late_share = scheduler.scenario(late_id).chunks_driven;
+  const std::size_t runner_share =
+      scheduler.scenario(runner_id).chunks_driven - runner_before;
+  EXPECT_EQ(late_share + runner_share, 200u);
+  EXPECT_GE(late_share, 60u);
+  EXPECT_LE(late_share, 140u);
+}
+
+// The bitwise invariant with every QoS knob engaged at once: deadlines and
+// caps reorder slices in time but never change what a session computes.
+TEST(SchedulerQoS, MetricsStayBitwiseEqualToSoloRunsUnderQoS) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 2;
+  fleet.deadline_boost = 8.0;
+  AttackScheduler scheduler(fleet);
+
+  const std::size_t periods[] = {1 << 14, 1 << 13, 1 << 12};
+  MixingGenerator generators[] = {MixingGenerator(periods[0]),
+                                  MixingGenerator(periods[1]),
+                                  MixingGenerator(periods[2])};
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ScenarioOptions options;
+    options.session = chunked_config(20000, 500);
+    if (i == 0) options.deadline_seconds = 1e-6;  // boosted from slice one
+    if (i == 1) {
+      options.rate_cap = 500000.0;  // throttled but far from the bottleneck
+      options.session.pipeline_depth = 2;  // capped + pipelined together
+    }
+    ids.push_back(scheduler.add_scenario(generators[i], matcher, options));
+  }
+
+  while (scheduler.step()) {
+  }
+  EXPECT_TRUE(scheduler.finished());
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const RunResult expected =
+        expected_run(matcher, periods[i], 20000, 500);
+    ASSERT_GT(expected.final().matched, 0u);
+    PF_EXPECT_SAME_RUN(expected, scheduler.result(ids[i]));
+  }
+  const SchedulerStats stats = scheduler.aggregate();
+  EXPECT_EQ(stats.finished, 3u);
+  EXPECT_EQ(stats.deadline_missed, 1u);  // latched even after its deadline
+  EXPECT_TRUE(scheduler.scenario(ids[0]).past_deadline);
+}
+
+// run() drivers with nothing eligible must park on the cv (visible via
+// SchedulerStats::parked_drivers), not spin, and still finish the fleet.
+TEST(SchedulerQoS, DriversParkWhileEveryRunnableScenarioIsCapped) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  fleet.max_concurrent = 2;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(250, 25);  // 10 chunks at ~25ms apart
+  options.rate_cap = 1000.0;
+  scheduler.add_scenario(generator, matcher, options);
+
+  std::thread runner([&] { scheduler.run(); });
+  // Between bucket refills both drivers are parked; sample until we catch
+  // them at it (each aggregate quiesces briefly, so the loop is bounded).
+  std::size_t max_parked = 0;
+  for (int i = 0; i < 200 && !scheduler.finished(); ++i) {
+    const SchedulerStats stats = scheduler.aggregate();
+    max_parked = std::max(max_parked, stats.parked_drivers);
+    if (max_parked > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  runner.join();
+  EXPECT_GE(max_parked, 1u);
+  EXPECT_LE(max_parked, 2u);
+  EXPECT_TRUE(scheduler.finished());
+  // step()-style driving has no drivers to park.
+  EXPECT_EQ(scheduler.aggregate().parked_drivers, 0u);
+}
+
+// step() on a fleet whose only runnable scenario is momentarily capped out
+// must sleep to the refill and drive it — throttled is not drained.
+TEST(SchedulerQoS, StepSleepsThroughAnEmptyBucketInsteadOfReturningFalse) {
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(100, 50);  // two chunks
+  options.rate_cap = 1000.0;
+  scheduler.add_scenario(generator, matcher, options);
+
+  // Both buckets start empty, so both slices cross an empty-bucket wait.
+  EXPECT_TRUE(scheduler.step());
+  EXPECT_TRUE(scheduler.step());
+  EXPECT_FALSE(scheduler.step());  // now genuinely drained
+  EXPECT_TRUE(scheduler.finished());
+}
+
+TEST(SchedulerQoS, RejectsInvalidQoSArguments) {
+  HashSetMatcher matcher({"x"});
+  MixingGenerator generator;
+
+  SchedulerConfig bad_boost;
+  bad_boost.deadline_boost = 0.5;
+  EXPECT_THROW(AttackScheduler{bad_boost}, std::invalid_argument);
+
+  SchedulerConfig bad_burst;
+  bad_burst.rate_cap_burst_seconds = 0.0;
+  EXPECT_THROW(AttackScheduler{bad_burst}, std::invalid_argument);
+
+  AttackScheduler scheduler;
+  ScenarioOptions negative_deadline;
+  negative_deadline.deadline_seconds = -1.0;
+  EXPECT_THROW(scheduler.add_scenario(generator, matcher, negative_deadline),
+               std::invalid_argument);
+  ScenarioOptions negative_cap;
+  negative_cap.rate_cap = -5.0;
+  EXPECT_THROW(scheduler.add_scenario(generator, matcher, negative_cap),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace passflow::guessing

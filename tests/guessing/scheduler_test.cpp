@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "reference_harness.hpp"
@@ -324,6 +328,106 @@ TEST(AttackScheduler, SliceErrorsSurfaceAndParkTheScenario) {
   EXPECT_THROW(scheduler.step(), std::runtime_error);
   EXPECT_EQ(scheduler.scenario(id).status, ScenarioStatus::kFinished);
   EXPECT_FALSE(scheduler.step());  // the broken scenario takes no more slices
+}
+
+TEST(AttackScheduler, ResultIsRepeatable) {
+  HashSetMatcher matcher(mixing_targets());
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+
+  MixingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(8000, 500);
+  const std::size_t id = scheduler.add_scenario(generator, matcher, options);
+
+  // Mid-run: two result() calls at the same chunk boundary agree.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(scheduler.step());
+  PF_EXPECT_SAME_RUN(scheduler.result(id), scheduler.result(id));
+
+  while (scheduler.step()) {
+  }
+  // Finished: result() is not single-shot; every call returns the full run.
+  const RunResult first = scheduler.result(id);
+  const RunResult second = scheduler.result(id);
+  PF_EXPECT_SAME_RUN(first, second);
+  EXPECT_EQ(first.final().guesses, 8000u);
+  PF_EXPECT_SAME_RUN(expected_run(matcher, 1 << 14, 8000, 500), second);
+}
+
+// A pipeline error that lands after the fleet stops being driven — here a
+// producer failing behind a paused scenario — has no driver left to
+// rethrow it. aggregate() must surface it (after releasing the quiesce
+// gate), not swallow it into a parked exception_ptr forever.
+TEST(AttackScheduler, AggregateSurfacesPipelineErrorFromDrainedFleet) {
+  // generate #1 succeeds; generate #2 parks until released, then throws —
+  // so the first slice is deterministically clean and the error lands only
+  // once the test has paused the scenario.
+  class LatchedThrowingGenerator : public GuessGenerator {
+   public:
+    void generate(std::size_t n, std::vector<std::string>& out) override {
+      if (calls_++ == 0) {
+        for (std::size_t i = 0; i < n; ++i) out.push_back("g");
+        return;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return released_; });
+      throw std::runtime_error("producer exploded");
+    }
+    std::string name() const override { return "latched-throwing"; }
+    void release() {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        released_ = true;
+      }
+      cv_.notify_all();
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool released_ = false;
+    int calls_ = 0;
+  };
+
+  HashSetMatcher matcher({"nothing"});
+  SchedulerConfig fleet;
+  fleet.slice_chunks = 1;
+  AttackScheduler scheduler(fleet);
+  LatchedThrowingGenerator generator;
+  ScenarioOptions options;
+  options.session = chunked_config(800, 100);
+  options.session.pipeline_depth = 2;  // producer runs ahead of the slices
+  const std::size_t id = scheduler.add_scenario(generator, matcher, options);
+
+  ASSERT_TRUE(scheduler.step());  // consumes chunk 1; producer blocks on #2
+  scheduler.pause_scenario(id);   // fleet drained: no driver will ever run
+  EXPECT_FALSE(scheduler.step());
+  generator.release();            // the error lands on the producer thread
+
+  // The error is stored asynchronously; poll until an aggregate() trips
+  // over it while merging the broken session's sketch state.
+  bool surfaced = false;
+  for (int i = 0; i < 500 && !surfaced; ++i) {
+    try {
+      scheduler.aggregate();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    } catch (const std::runtime_error& error) {
+      surfaced = true;
+      EXPECT_STREQ(error.what(), "producer exploded");
+    }
+  }
+  EXPECT_TRUE(surfaced);
+
+  // The broken scenario is parked as finished, the error was consumed
+  // (not resurfaced forever), and the scheduler stays usable.
+  EXPECT_EQ(scheduler.scenario(id).status, ScenarioStatus::kFinished);
+  EXPECT_TRUE(scheduler.finished());
+  const SchedulerStats after = scheduler.aggregate();  // must not throw
+  EXPECT_EQ(after.finished, 1u);
+  // The torn-down session's tracker still merges: the fold state for every
+  // chunk it actually consumed survives the error.
+  EXPECT_TRUE(after.unique_union_valid);
 }
 
 }  // namespace

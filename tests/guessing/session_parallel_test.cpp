@@ -4,8 +4,10 @@
 // exactly. Runs under the `thread_safety` CTest label (and its TSan job).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -312,6 +314,129 @@ TEST(SessionParallel, ProducerExceptionSurfacesInStep) {
         }
       },
       std::runtime_error);
+}
+
+// A pipeline error must leave the session retryable: a step() retried
+// after the throw restarts the pipeline with the consumed-but-unfolded
+// tracker backlog re-seeded (tracked_chunks_ short by the backlog, drain
+// re-spawned, erroring chunk requeued) — before the fix the leftover
+// chunks skewed the tracked/consumed accounting and the next checkpoint
+// sync barrier deadlocked. The generator throws *before* touching its
+// stream state, so every retry replays the identical stream and the final
+// metrics must still be bitwise equal to the serial reference.
+TEST(SessionParallel, PipelineErrorRetryReplaysStreamBitwise) {
+  // Throws on every 5th generate() call, stream state untouched.
+  class ThrowEveryFifth : public GuessGenerator {
+   public:
+    void generate(std::size_t n, std::vector<std::string>& out) override {
+      if (++calls_ % 5 == 0) {
+        throw std::runtime_error("transient generator failure");
+      }
+      inner_.generate(n, out);
+    }
+    std::string name() const override { return "throw-every-5th"; }
+
+   private:
+    MixingGenerator inner_;
+    int calls_ = 0;
+  };
+
+  HashSetMatcher matcher(mixing_targets());
+  util::ThreadPool pool(2);
+
+  SessionConfig config;
+  config.budget = 40000;
+  config.chunk_size = 500;  // 80 chunks => ~16 error/restart cycles
+  config.checkpoints = {5000, 10000, 20000, 30000, 40000};
+  config.pipeline_depth = 3;
+  config.pool = &pool;  // tracker stage = pool drain task (the fixed path)
+
+  ThrowEveryFifth generator;
+  AttackSession session(generator, matcher, config);
+  std::size_t errors = 0;
+  while (!session.finished()) {
+    try {
+      if (!session.step()) break;
+    } catch (const std::runtime_error&) {
+      ++errors;  // surfaced once per failed generate; session stays usable
+    }
+  }
+  EXPECT_GE(errors, 10u);
+  EXPECT_TRUE(session.finished());
+
+  MixingGenerator reference_generator;
+  ReferenceConfig reference;
+  reference.budget = config.budget;
+  reference.chunk_size = config.chunk_size;
+  reference.checkpoints = config.checkpoints;
+  PF_EXPECT_SAME_RUN(
+      reference_run(reference_generator, matcher, reference),
+      session.result());
+}
+
+// Same retry machinery, but the error comes from the matcher on the
+// producer thread. The generator's stream had already advanced past the
+// dropped chunk, so bitwise equality is off the table — what must hold is
+// the accounting: the session completes its exact budget, every checkpoint
+// lands, and nothing deadlocks on the tracker barrier.
+TEST(SessionParallel, PipelineErrorFromMatcherKeepsAccountingConsistent) {
+  class ThrowingMatcher : public Matcher {
+   public:
+    explicit ThrowingMatcher(const std::vector<std::string>& targets)
+        : inner_(targets) {}
+    bool contains(const std::string& password) const override {
+      return inner_.contains(password);
+    }
+    std::size_t test_set_size() const override {
+      return inner_.test_set_size();
+    }
+    std::string name() const override { return "throwing-matcher"; }
+    void contains_batch(const std::vector<std::string>& batch,
+                        util::ThreadPool* pool,
+                        std::vector<char>& out) const override {
+      if (++calls_ % 7 == 0) {
+        throw std::runtime_error("transient matcher failure");
+      }
+      inner_.contains_batch(batch, pool, out);
+    }
+
+   private:
+    HashSetMatcher inner_;
+    mutable std::atomic<int> calls_{0};
+  };
+
+  ThrowingMatcher matcher(mixing_targets());
+  util::ThreadPool pool(2);
+
+  SessionConfig config;
+  config.budget = 30000;
+  config.chunk_size = 500;
+  config.checkpoints = {10000, 20000, 30000};
+  config.pipeline_depth = 2;
+  config.pool = &pool;
+
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, config);
+  std::size_t errors = 0;
+  while (!session.finished()) {
+    try {
+      if (!session.step()) break;
+    } catch (const std::runtime_error&) {
+      ++errors;
+    }
+  }
+  EXPECT_GE(errors, 1u);
+  EXPECT_TRUE(session.finished());
+
+  const RunResult result = session.result();
+  EXPECT_EQ(result.final().guesses, 30000u);
+  ASSERT_EQ(result.checkpoints.size(), 3u);
+  for (const Checkpoint& cp : result.checkpoints) {
+    // Unique can never exceed produced, and the tracker folded every
+    // consumed chunk exactly once — no double-folds from requeued chunks.
+    EXPECT_LE(cp.unique, cp.guesses);
+    EXPECT_GT(cp.unique, 0u);
+  }
 }
 
 }  // namespace
