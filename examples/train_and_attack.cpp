@@ -9,6 +9,8 @@
 //                               [--state attack.state]
 //                               [--scenarios static@0.8,static@1.0,dynamic+gs]
 //                               [--deadline 30] [--rate-cap 0,50000,0]
+//                               [--fleet-state fleet.ckpt]
+//                               [--checkpoint-every 30]
 //                               [--build-index targets.pfidx]
 //                               [--index targets.pfidx]
 //
@@ -31,15 +33,28 @@
 // scheduled with boosted effective weight; rate caps are guesses/second
 // enforced by per-scenario token buckets.
 //
+// --fleet-state makes the fleet crash-safe: the whole scheduler (every
+// scenario's stream, the fair-share clocks, QoS ledgers) is frozen to a
+// rotated, CRC-framed CheckpointStore at <path>.gNNNNNNNN every
+// --checkpoint-every seconds, and SIGINT/SIGTERM drains in-flight slices
+// and saves once more before exiting. Restarting with the same flags thaws
+// the newest intact generation and resumes where the fleet left off
+// (saved QoS ledgers win over the --deadline/--rate-cap flags on resume).
+// The checkpoints are deleted when the fleet finishes cleanly.
+//
 // --build-index writes the target set to a disk index at the given path
 // and attacks through the mmap-backed MappedMatcher instead of the
 // in-memory hash set; --index attacks through an existing index file
 // (e.g. one built offline from a multi-GB leak with IndexBuilder), so the
 // target corpus never has to fit in RAM. Metrics are identical either way.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "data/synthetic_rockyou.hpp"
@@ -49,12 +64,20 @@
 #include "guessing/scheduler.hpp"
 #include "guessing/session.hpp"
 #include "guessing/static_sampler.hpp"
+#include "util/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace pf = passflow;
+
+namespace {
+// SIGINT/SIGTERM request a drain-and-save instead of killing the fleet;
+// sig_atomic_t is the only state a signal handler may touch.
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+}  // namespace
 
 int main(int argc, char** argv) {
   pf::util::Flags flags(argc, argv);
@@ -71,6 +94,9 @@ int main(int argc, char** argv) {
   const std::string scenarios_flag = flags.get_string("scenarios", "");
   const std::string deadline_flag = flags.get_string("deadline", "");
   const std::string rate_cap_flag = flags.get_string("rate-cap", "");
+  const std::string fleet_state_path = flags.get_string("fleet-state", "");
+  const double checkpoint_every =
+      static_cast<double>(flags.get_int("checkpoint-every", 30));
   const std::string index_path = flags.get_string("index", "");
   const std::string build_index_path = flags.get_string("build-index", "");
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
@@ -218,20 +244,101 @@ int main(int argc, char** argv) {
     pf::guessing::SchedulerConfig fleet;
     fleet.pool = &pf::util::shared_pool();
     pf::guessing::AttackScheduler scheduler(fleet);
+
+    // Crash-safe mode: thaw the newest intact checkpoint generation if one
+    // exists; otherwise register the fleet fresh. The resolver re-binds
+    // each saved scenario to its sampler by position and insists the
+    // labels agree, so a resume with edited --scenarios fails loudly
+    // instead of thawing a stream into the wrong strategy.
+    std::unique_ptr<pf::util::CheckpointStore> store;
+    bool resumed = false;
+    if (!fleet_state_path.empty()) {
+      store = std::make_unique<pf::util::CheckpointStore>(fleet_state_path);
+      try {
+        resumed = store->load([&](std::istream& in) {
+          scheduler.load_state(
+              in,
+              [&](const pf::guessing::AttackScheduler::ScenarioThawInfo& info)
+                  -> pf::guessing::AttackScheduler::ScenarioBinding {
+                if (info.index >= samplers.size() ||
+                    labels[info.index] != info.name) {
+                  throw std::runtime_error(
+                      "saved fleet scenario #" + std::to_string(info.index) +
+                      " is '" + info.name +
+                      "', which does not match --scenarios; resume with the "
+                      "flags the fleet was started with");
+                }
+                return {*samplers[info.index], matcher};
+              });
+        });
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    }
+
     std::vector<std::size_t> ids;
-    for (std::size_t i = 0; i < samplers.size(); ++i) {
-      pf::guessing::ScenarioOptions options;
-      options.name = labels[i];
-      options.session = session_config;
-      options.session.log_progress = false;  // one summary table instead
-      options.deadline_seconds = deadlines[i];
-      options.rate_cap = rate_caps[i];
-      ids.push_back(scheduler.add_scenario(*samplers[i], matcher, options));
+    if (resumed) {
+      for (const auto& snap : scheduler.scenarios()) ids.push_back(snap.id);
+      std::printf("resumed fleet from %s at %zu guesses\n",
+                  fleet_state_path.c_str(), scheduler.aggregate().produced);
+    } else {
+      for (std::size_t i = 0; i < samplers.size(); ++i) {
+        pf::guessing::ScenarioOptions options;
+        options.name = labels[i];
+        options.session = session_config;
+        options.session.log_progress = false;  // one summary table instead
+        options.deadline_seconds = deadlines[i];
+        options.rate_cap = rate_caps[i];
+        ids.push_back(scheduler.add_scenario(*samplers[i], matcher, options));
+      }
     }
     std::printf("running %zu scenarios concurrently over %zu targets\n",
                 ids.size(), matcher->test_set_size());
     pf::util::Timer fleet_timer;
-    scheduler.run();
+
+    if (store) {
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+
+      // Drivers run in the background; this thread autosaves on a clock
+      // and watches for a stop signal. save_state quiesces in-flight
+      // slices through the aggregate() gate, so every generation on disk
+      // is a chunk-boundary-consistent snapshot of the live fleet.
+      std::atomic<bool> done{false};
+      std::thread driver([&] {
+        scheduler.run();
+        done.store(true);
+      });
+      pf::util::Timer autosave_timer;
+      while (!done.load() && !g_stop_requested) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (!done.load() && !g_stop_requested &&
+            autosave_timer.elapsed_seconds() >= checkpoint_every) {
+          store->save(
+              [&](std::ostream& out) { scheduler.save_state(out); });
+          autosave_timer.reset();
+        }
+      }
+      if (g_stop_requested && !done.load()) {
+        // Drain-and-save: freeze a final consistent snapshot, then pause
+        // every scenario so run() lets its drivers go.
+        store->save([&](std::ostream& out) { scheduler.save_state(out); });
+        for (const auto& snap : scheduler.scenarios()) {
+          scheduler.pause_scenario(snap.id);
+        }
+        driver.join();
+        std::printf(
+            "\ninterrupted: fleet state saved to %s (%zu guesses in); "
+            "restart with the same flags to resume\n",
+            fleet_state_path.c_str(), scheduler.aggregate().produced);
+        return 0;
+      }
+      driver.join();
+      store->clear();  // finished cleanly: nothing left to resume
+    } else {
+      scheduler.run();
+    }
 
     std::printf("\n=== fleet summary (%zu scenarios, %.1fs) ===\n",
                 ids.size(), fleet_timer.elapsed_seconds());

@@ -5,9 +5,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/serial_io.hpp"
+
 namespace passflow::guessing {
 
 namespace {
+
+constexpr char kStateMagic[] = "PFSCHD1\n";
+constexpr char kStateEndMagic[] = "PFSCHDE\n";
+
+namespace io = util::io;
 
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
@@ -544,7 +551,8 @@ SchedulerStats AttackScheduler::aggregate() const {
     }
   }
   if (stats.unique_union_valid) stats.unique_union = unionsketch.estimate();
-  stats.seconds = timer_started_ ? timer_.elapsed_seconds() : 0.0;
+  stats.seconds =
+      saved_seconds_ + (timer_started_ ? timer_.elapsed_seconds() : 0.0);
   stats.guesses_per_second =
       stats.seconds > 0.0
           ? static_cast<double>(stats.produced) / stats.seconds
@@ -564,6 +572,215 @@ SchedulerStats AttackScheduler::aggregate() const {
   cv_.notify_all();
   if (error) std::rethrow_exception(error);
   return stats;
+}
+
+// ---- freeze / thaw ---------------------------------------------------------
+
+void AttackScheduler::save_state(std::ostream& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Quiesce through the aggregate() gate, plus the result()-copy
+  // reservation: a scenario with in_flight set but no slice (a result()
+  // copy in progress) is being read outside the lock, so the save must
+  // wait it out too before touching any session.
+  ++quiesce_count_;
+  cv_.wait(lock, [&] {
+    if (active_slices_ != 0) return false;
+    for (const auto& scenario : scenarios_) {
+      if (scenario->in_flight) return false;
+    }
+    return true;
+  });
+
+  const Clock::time_point now = Clock::now();
+  try {
+    out.write(kStateMagic, sizeof(kStateMagic) - 1);
+    io::write_u64(out, next_id_);
+    io::write_f64(out, saved_seconds_ +
+                           (timer_started_ ? timer_.elapsed_seconds() : 0.0));
+    // Scenarios mid-removal are excluded: their remove_scenario() call has
+    // already claimed their results, so thawing them back would duplicate
+    // the work they report.
+    std::size_t count = 0;
+    for (const auto& scenario : scenarios_) {
+      if (!scenario->removing) ++count;
+    }
+    io::write_u64(out, count);
+    for (const auto& entry : scenarios_) {
+      const Scenario& scenario = *entry;
+      if (scenario.removing) continue;
+      io::write_u64(out, scenario.id);
+      io::write_string(out, scenario.name);
+      io::write_f64(out, scenario.weight);
+      io::write_u64(out, static_cast<std::uint64_t>(scenario.status));
+      io::write_u64(out, scenario.chunks_driven);
+      io::write_f64(out, scenario.virtual_time);
+
+      // QoS ledgers. The deadline is persisted as *remaining* seconds
+      // (negative once passed): deadline_at is a wall-clock instant from
+      // registration, meaningless in another process. Time spent frozen
+      // does not count against a deadline.
+      io::write_f64(out, scenario.deadline_seconds);
+      io::write_u64(out, scenario.has_deadline ? 1 : 0);
+      io::write_u64(out, scenario.missed_deadline ? 1 : 0);
+      io::write_f64(out, scenario.has_deadline
+                             ? seconds_between(now, scenario.deadline_at)
+                             : 0.0);
+      io::write_f64(out, scenario.rate_cap);
+      io::write_f64(out, scenario.tokens);
+      io::write_u64(out, scenario.started ? 1 : 0);
+      io::write_f64(out, scenario.started
+                             ? seconds_between(scenario.first_slice_at,
+                                               scenario.last_slice_at)
+                             : 0.0);
+
+      // Per-scenario engine config, so load_state can reconstruct the
+      // session before thawing its stream (which re-validates the
+      // metric-relevant fields against this echo).
+      const SessionConfig& session = scenario.session->config();
+      io::write_u64(out, session.budget);
+      io::write_u64(out, session.chunk_size);
+      io::write_u64(out, session.non_matched_samples);
+      io::write_u64(out, static_cast<std::uint64_t>(session.unique_tracking));
+      io::write_u64(out, session.unique_shards);
+      io::write_u64(out, session.sketch_precision_bits);
+      io::write_u64(out, session.pipeline_depth);
+      io::write_u64(out, session.log_progress ? 1 : 0);
+      io::write_u64(out, session.checkpoints.size());
+      for (const std::size_t cp : session.checkpoints) io::write_u64(out, cp);
+
+      entry->session->save_state(out);
+    }
+    out.write(kStateEndMagic, sizeof(kStateEndMagic) - 1);
+    if (!out) throw std::runtime_error("AttackScheduler state write failed");
+  } catch (...) {
+    --quiesce_count_;
+    lock.unlock();
+    cv_.notify_all();
+    throw;
+  }
+  --quiesce_count_;
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void AttackScheduler::load_state(std::istream& in,
+                                 const ScenarioResolver& resolver) {
+  if (!resolver) {
+    throw std::invalid_argument(
+        "AttackScheduler::load_state requires a scenario resolver");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!scenarios_.empty() || next_id_ != 0 || timer_started_) {
+    throw std::logic_error(
+        "AttackScheduler::load_state must run on a freshly constructed "
+        "scheduler");
+  }
+
+  io::expect_magic(in, kStateMagic, "AttackScheduler");
+  const std::uint64_t next_id = io::read_u64(in);
+  const double saved_seconds = io::read_f64(in);
+  const std::uint64_t count = io::read_length(in, "scenario count");
+  const Clock::time_point now = Clock::now();
+
+  // Everything is built into local state and committed only after the end
+  // magic validates, so a corrupt stream leaves the scheduler unchanged.
+  std::vector<std::shared_ptr<Scenario>> thawed;
+  thawed.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto scenario = std::make_shared<Scenario>();
+    scenario->id = io::read_u64(in);
+    scenario->name = io::read_string(in);
+    scenario->weight = io::read_f64(in);
+    const std::uint64_t status = io::read_u64(in);
+    if (status > static_cast<std::uint64_t>(ScenarioStatus::kFinished)) {
+      throw std::runtime_error(
+          "AttackScheduler state is corrupt: scenario status " +
+          std::to_string(status));
+    }
+    scenario->status = static_cast<ScenarioStatus>(status);
+    scenario->chunks_driven = io::read_u64(in);
+    scenario->virtual_time = io::read_f64(in);
+    if (!(scenario->weight > 0.0)) {
+      throw std::runtime_error(
+          "AttackScheduler state is corrupt: scenario weight must be > 0");
+    }
+
+    scenario->deadline_seconds = io::read_f64(in);
+    scenario->has_deadline = io::read_u64(in) != 0;
+    scenario->missed_deadline = io::read_u64(in) != 0;
+    const double deadline_remaining = io::read_f64(in);
+    if (scenario->has_deadline) {
+      // Re-anchor: remaining time at save is remaining time now. A
+      // scenario saved past its deadline (negative remaining) thaws past
+      // it — effective-weight escalation engages on its very first pick,
+      // and mark_finished_locked latches the miss exactly as if the fleet
+      // had never frozen.
+      scenario->deadline_at = after_seconds(now, deadline_remaining);
+    }
+    scenario->rate_cap = io::read_f64(in);
+    const double tokens = io::read_f64(in);
+    if (scenario->rate_cap > 0.0) {
+      scenario->token_capacity =
+          scenario->rate_cap * config_.rate_cap_burst_seconds;
+      // Capacity follows the live scheduler's burst config; the saved
+      // level is clamped into it so a thaw can never grant a burst the
+      // live config would not.
+      scenario->tokens = std::min(tokens, scenario->token_capacity);
+      scenario->last_refill = now;
+    }
+    scenario->started = io::read_u64(in) != 0;
+    const double active_window = io::read_f64(in);
+    if (scenario->started) {
+      // Preserve the achieved-rate wall window: it restarts spanning the
+      // same width it had at save and grows from here.
+      scenario->first_slice_at = after_seconds(now, -active_window);
+      scenario->last_slice_at = now;
+    }
+
+    ScenarioThawInfo info;
+    info.index = static_cast<std::size_t>(i);
+    info.id = scenario->id;
+    info.session.budget = io::read_u64(in);
+    info.session.chunk_size = io::read_u64(in);
+    info.session.non_matched_samples = io::read_u64(in);
+    const std::uint64_t tracking = io::read_u64(in);
+    if (tracking > static_cast<std::uint64_t>(UniqueTracking::kSketch)) {
+      throw std::runtime_error(
+          "AttackScheduler state is corrupt: unique-tracking mode " +
+          std::to_string(tracking));
+    }
+    info.session.unique_tracking = static_cast<UniqueTracking>(tracking);
+    info.session.unique_shards = io::read_u64(in);
+    info.session.sketch_precision_bits =
+        static_cast<unsigned>(io::read_u64(in));
+    info.session.pipeline_depth = io::read_u64(in);
+    info.session.log_progress = io::read_u64(in) != 0;
+    const std::uint64_t checkpoint_count =
+        io::read_length(in, "checkpoint count");
+    info.session.checkpoints.reserve(checkpoint_count);
+    for (std::uint64_t c = 0; c < checkpoint_count; ++c) {
+      info.session.checkpoints.push_back(io::read_u64(in));
+    }
+    info.session.pool = config_.pool;  // the fleet budget, as add_scenario
+    info.name = scenario->name;
+
+    ScenarioBinding binding = resolver(info);
+    scenario->session = std::make_unique<AttackSession>(
+        binding.generator, std::move(binding.matcher), info.session);
+    // Thaws bookkeeping, tracker, pending pipeline chunks and the
+    // generator stream; validates the run shape against the config echo
+    // and the generator name against the saved one.
+    scenario->session->load_state(in);
+    scenario->snapshot = scenario->session->stats();
+    thawed.push_back(std::move(scenario));
+  }
+  io::expect_magic(in, kStateEndMagic, "AttackScheduler trailer");
+
+  scenarios_ = std::move(thawed);
+  next_id_ = next_id;
+  saved_seconds_ = saved_seconds;
+  lock.unlock();
+  cv_.notify_all();  // parked drivers (if any) may now have work
 }
 
 }  // namespace passflow::guessing

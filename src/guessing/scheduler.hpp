@@ -41,6 +41,19 @@
 // CardinalitySketch (register-max for sketch trackers, key re-insertion
 // for exact ones — same hash64 family, so the union composes exactly).
 //
+// Freeze/thaw: save_state() quiesces the fleet through the same gate
+// aggregate() uses and serializes the whole scheduler — every scenario's
+// session stream (via AttackSession::save_state), the fair-share virtual
+// clocks, rate-cap token-bucket levels, and deadlines re-anchored as
+// *remaining* seconds (absolute instants are wall-clock from registration
+// and must not survive a process boundary). load_state() rebuilds the
+// fleet in a fresh scheduler: a resolver callback binds each saved
+// scenario back to a live generator and matcher (those hold references
+// and cannot be serialized), and each session thaws from its own stream,
+// so a thawed fleet finishes with per-scenario metrics bitwise equal to a
+// never-interrupted run. Pair with util::CheckpointStore for crash-safe
+// on-disk publication.
+//
 // QoS: on top of the fair-share base policy, every scenario can carry a
 // soft deadline and a guess-rate cap. A scenario past its deadline
 // advances its virtual clock at weight * deadline_boost — effective-weight
@@ -58,6 +71,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -226,6 +241,49 @@ class AttackScheduler {
   // on a finished scenario every call returns the same values.
   RunResult result(std::size_t id) const;
 
+  // Everything load_state knows about one saved scenario before asking the
+  // resolver to bind it to live objects. `session` is the saved per-
+  // scenario engine config (the pool is already overridden to the
+  // scheduler's); `index` is the scenario's position in the save, which is
+  // registration order.
+  struct ScenarioThawInfo {
+    std::size_t index = 0;
+    std::size_t id = 0;
+    std::string name;
+    SessionConfig session;
+  };
+
+  // Live bindings for one thawed scenario: the generator that will drive
+  // it (must outlive the scenario; its stream state thaws from the saved
+  // session, and AttackSession::load_state rejects a generator whose
+  // name() differs from the saved one) and the matcher to probe.
+  struct ScenarioBinding {
+    GuessGenerator& generator;
+    MatcherRef matcher;
+  };
+  using ScenarioResolver =
+      std::function<ScenarioBinding(const ScenarioThawInfo&)>;
+
+  // Freezes the whole fleet: quiesces slice dispatch (in-flight slices
+  // land first — drivers stay parked for the duration), then serializes
+  // scheduler bookkeeping plus every scenario's full state. Requires every
+  // scenario's generator to support state serialization. Thread-safe;
+  // callable mid-run() — drivers resume when the save completes. On error
+  // the stream contents are unspecified and must be discarded (a
+  // CheckpointStore save does this automatically by never publishing).
+  void save_state(std::ostream& out);
+
+  // Thaws a save_state() stream into a freshly constructed scheduler (no
+  // scenarios registered, never driven — throws std::logic_error
+  // otherwise). Calls `resolver` once per saved scenario, in registration
+  // order, to obtain its generator and matcher. Scenario ids, weights,
+  // statuses (running/paused/finished), virtual clocks, QoS ledgers and
+  // latched deadline outcomes are restored; deadlines re-anchor so the
+  // remaining time at save is the remaining time now (a scenario saved
+  // past its deadline is past it on thaw, with escalation active
+  // immediately). On failure the scheduler is left unchanged and usable.
+  void load_state(std::istream& in, const ScenarioResolver& resolver);
+
   // Fleet aggregate; briefly quiesces slice dispatch so every session can
   // be read at a chunk boundary. Concurrent aggregate() calls compose (the
   // quiesce gate is a counter, so slices stay parked until the last one
@@ -308,6 +366,9 @@ class AttackScheduler {
 
   util::Timer timer_;
   bool timer_started_ = false;
+  // Fleet driving seconds carried across save/thaw: stats().seconds =
+  // saved_seconds_ + time since this process's first slice.
+  double saved_seconds_ = 0.0;
 };
 
 }  // namespace passflow::guessing

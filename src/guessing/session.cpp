@@ -75,7 +75,16 @@ void AttackSession::plan_schedule() {
   }
 }
 
+void AttackSession::check_usable() const {
+  if (load_failed_) {
+    throw std::logic_error(
+        "AttackSession is unusable: a previous load_state failed partway, "
+        "so its state is incomplete");
+  }
+}
+
 bool AttackSession::step() {
+  check_usable();
   if (finished()) {
     refresh_stats();
     return false;
@@ -329,6 +338,7 @@ void AttackSession::refresh_stats() {
 }
 
 RunResult AttackSession::result() const {
+  check_usable();
   RunResult out = result_;
   if (out.checkpoints.empty() || out.checkpoints.back().guesses != produced_) {
     const std::size_t unique =
@@ -486,6 +496,7 @@ void AttackSession::tracker_loop() {
 }
 
 bool AttackSession::merge_unique_sketch(util::CardinalitySketch& out) {
+  check_usable();
   if (pipeline_running_ && tracker_stage_) {
     // Same barrier as a checkpoint: the contribution must cover exactly
     // the chunks consumed so far, so park until the tracker stage has
@@ -508,6 +519,7 @@ bool AttackSession::merge_unique_sketch(util::CardinalitySketch& out) {
 // ---- save / resume -------------------------------------------------------
 
 void AttackSession::save_state(std::ostream& out) {
+  check_usable();
   if (!generator_->supports_state_serialization()) {
     throw std::logic_error(
         "AttackSession::save_state requires a generator with state "
@@ -559,10 +571,24 @@ void AttackSession::save_state(std::ostream& out) {
 }
 
 void AttackSession::load_state(std::istream& in) {
+  check_usable();
   if (produced_ != 0 || next_chunk_ != 0 || !result_.checkpoints.empty()) {
     throw std::logic_error(
         "AttackSession::load_state must run before the first step()");
   }
+  try {
+    load_state_impl(in);
+  } catch (...) {
+    // The stream failed partway: bookkeeping, tracker and generator state
+    // are now mutually inconsistent. Poison the session so the half-thawed
+    // attack can never run — resuming it would report wrong metrics with
+    // no sign anything was lost.
+    load_failed_ = true;
+    throw;
+  }
+}
+
+void AttackSession::load_state_impl(std::istream& in) {
   io::expect_magic(in, kMagic, "AttackSession");
 
   const std::string saved_generator = io::read_string(in);

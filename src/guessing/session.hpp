@@ -152,7 +152,10 @@ class AttackSession {
   // Must be called before the first step(); throws if the saved run shape
   // (budget / chunk size / checkpoints / tracking mode) does not match
   // this session's config. pipeline_depth, pool and shard counts may
-  // differ — they do not affect metrics.
+  // differ — they do not affect metrics. A load that throws mid-stream
+  // (truncated or corrupt state) leaves the session POISONED: every
+  // subsequent step()/save_state()/result() throws std::logic_error, so a
+  // half-thawed attack can never run and report silently-wrong metrics.
   void load_state(std::istream& in);
 
   // Folds this session's distinct-guess state into `out`, the fleet-wide
@@ -171,6 +174,9 @@ class AttackSession {
   };
 
   void plan_schedule();
+  void load_state_impl(std::istream& in);
+  // Throws if a failed load_state left the session half-thawed.
+  void check_usable() const;
   void serial_step();
   void pipelined_step();
   // Stream-order bookkeeping for one chunk; always runs on the consuming
@@ -212,6 +218,7 @@ class AttackSession {
   util::Timer timer_;
   bool timer_started_ = false;  // armed on the first step()
   double seconds_accum_ = 0.0;  // run time carried across save/resume
+  bool load_failed_ = false;    // poisoned by a throwing load_state
 
   // Serial-mode scratch.
   std::vector<std::string> batch_;

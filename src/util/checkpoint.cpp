@@ -1,0 +1,339 @@
+#include "util/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/serial_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PASSFLOW_CHECKPOINT_POSIX 1
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define PASSFLOW_CHECKPOINT_POSIX 0
+#endif
+
+namespace passflow::util {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'F', 'C', 'K', 'P', 'T', '1', '\n'};
+constexpr char kEndMagic[8] = {'P', 'F', 'C', 'K', 'P', 'T', 'E', '\n'};
+constexpr std::uint64_t kFormatVersion = 1;
+// magic + version + payload length.
+constexpr std::size_t kHeaderBytes = 8 + 8 + 8;
+// CRC (stored as u64) + end magic.
+constexpr std::size_t kFooterBytes = 8 + 8;
+constexpr std::size_t kGenerationDigits = 8;
+
+std::uint64_t load_u64le(const char* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Splits "dir/name" for directory scanning and fsync. An empty directory
+// part means the current working directory.
+void split_path(const std::string& path, std::string& dir,
+                std::string& name) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+    name = path;
+  } else {
+    dir = path.substr(0, slash == 0 ? 1 : slash);
+    name = path.substr(slash + 1);
+  }
+}
+
+#if PASSFLOW_CHECKPOINT_POSIX
+// Durability half of atomic publication: the rename is only crash-safe
+// once the directory entry itself is on disk.
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+// Atomically writes `bytes` to `path` via temp + fsync + rename.
+void publish_file(const std::string& temp_path, const std::string& path,
+                  const std::string& bytes) {
+#if PASSFLOW_CHECKPOINT_POSIX
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    throw std::runtime_error("checkpoint: cannot create temp file " +
+                             temp_path);
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      std::remove(temp_path.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + temp_path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(temp_path.c_str());
+    throw std::runtime_error("checkpoint: fsync failed for " + temp_path);
+  }
+  ::close(fd);
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+  std::string dir, name;
+  split_path(path, dir, name);
+  fsync_directory(dir);
+#else
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + temp_path);
+    }
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+#endif
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc) {
+  // Table built once: the standard reflected CRC-32 used by zlib/PNG.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---- CheckpointWriter ------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(std::string final_path)
+    : final_path_(std::move(final_path)), temp_path_(final_path_ + ".tmp") {
+  if (final_path_.empty()) {
+    throw std::invalid_argument("CheckpointWriter: empty path");
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (!committed_) std::remove(temp_path_.c_str());
+}
+
+void CheckpointWriter::commit() {
+  if (committed_) {
+    throw std::logic_error("CheckpointWriter::commit called twice");
+  }
+  const std::string payload = payload_.str();
+
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size() + kFooterBytes);
+  frame.append(kMagic, sizeof(kMagic));
+  const std::uint64_t version = kFormatVersion;
+  frame.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t payload_bytes = payload.size();
+  frame.append(reinterpret_cast<const char*>(&payload_bytes),
+               sizeof(payload_bytes));
+  frame.append(payload);
+  // The CRC covers header + payload, so a flip anywhere before the footer
+  // fails the checksum even when the field checks happen to still parse.
+  const std::uint64_t crc = crc32(frame.data(), frame.size());
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame.append(kEndMagic, sizeof(kEndMagic));
+
+  publish_file(temp_path_, final_path_, frame);
+  committed_ = true;
+}
+
+// ---- frame validation ------------------------------------------------------
+
+std::string CheckpointStore::read_frame_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("checkpoint " + path + ": cannot open");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kHeaderBytes + kFooterBytes) {
+    throw std::runtime_error("checkpoint " + path + ": truncated (" +
+                             std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint " + path + ": bad magic");
+  }
+  const std::uint64_t version = load_u64le(bytes.data() + 8);
+  if (version != kFormatVersion) {
+    throw std::runtime_error("checkpoint " + path +
+                             ": unsupported format version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t payload_bytes = load_u64le(bytes.data() + 16);
+  if (payload_bytes != bytes.size() - kHeaderBytes - kFooterBytes) {
+    throw std::runtime_error(
+        "checkpoint " + path + ": length mismatch (header says " +
+        std::to_string(payload_bytes) + " payload bytes, file holds " +
+        std::to_string(bytes.size() - kHeaderBytes - kFooterBytes) + ")");
+  }
+  const std::size_t footer_at = kHeaderBytes + payload_bytes;
+  const std::uint64_t stored_crc = load_u64le(bytes.data() + footer_at);
+  const std::uint64_t actual_crc = crc32(bytes.data(), footer_at);
+  if (stored_crc != actual_crc) {
+    throw std::runtime_error("checkpoint " + path + ": checksum mismatch");
+  }
+  if (std::memcmp(bytes.data() + footer_at + 8, kEndMagic,
+                  sizeof(kEndMagic)) != 0) {
+    throw std::runtime_error("checkpoint " + path + ": bad trailer");
+  }
+  return bytes.substr(kHeaderBytes, payload_bytes);
+}
+
+// ---- CheckpointStore -------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string base_path,
+                                 CheckpointStoreConfig config)
+    : base_path_(std::move(base_path)), config_(config) {
+  if (base_path_.empty()) {
+    throw std::invalid_argument("CheckpointStore: empty base path");
+  }
+  if (config_.keep_generations == 0) {
+    throw std::invalid_argument(
+        "CheckpointStoreConfig::keep_generations must be >= 1");
+  }
+  std::uint64_t newest = 0;
+  for (const std::string& path : generation_paths()) {
+    const std::uint64_t seq = std::stoull(
+        path.substr(path.size() - kGenerationDigits));
+    newest = std::max(newest, seq);
+  }
+  next_seq_ = newest + 1;
+}
+
+std::string CheckpointStore::generation_path(std::uint64_t seq) const {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".g%08llu",
+                static_cast<unsigned long long>(seq));
+  return base_path_ + suffix;
+}
+
+std::vector<std::string> CheckpointStore::generation_paths() const {
+  std::vector<std::string> paths;
+  std::string dir, name;
+  split_path(base_path_, dir, name);
+  const std::string prefix = name + ".g";
+#if PASSFLOW_CHECKPOINT_POSIX
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return paths;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string candidate = entry->d_name;
+    // Exactly "<name>.g<8 digits>": stray .tmp files from a crash mid-save
+    // and unrelated siblings fall through.
+    if (candidate.size() != prefix.size() + kGenerationDigits) continue;
+    if (candidate.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string digits = candidate.substr(prefix.size());
+    if (!std::all_of(digits.begin(), digits.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      continue;
+    }
+    paths.push_back(dir == "." ? candidate : dir + "/" + candidate);
+  }
+  ::closedir(handle);
+#else
+  // No directory scan available: probe the first plausible sequence range.
+  for (std::uint64_t seq = 1; seq < 1 << 20; ++seq) {
+    const std::string path = generation_path(seq);
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) {
+      if (seq > 1) break;
+      continue;
+    }
+    paths.push_back(path);
+  }
+#endif
+  // Newest first: the zero-padded suffix makes lexicographic order the
+  // sequence order.
+  std::sort(paths.rbegin(), paths.rend());
+  return paths;
+}
+
+std::string CheckpointStore::save(
+    const std::function<void(std::ostream&)>& write_payload) {
+  const std::string path = generation_path(next_seq_);
+  CheckpointWriter writer(path);
+  write_payload(writer.stream());
+  if (!writer.stream()) {
+    throw std::runtime_error("checkpoint payload write failed for " + path);
+  }
+  writer.commit();
+  ++next_seq_;
+
+  const std::vector<std::string> paths = generation_paths();
+  for (std::size_t i = config_.keep_generations; i < paths.size(); ++i) {
+    std::remove(paths[i].c_str());  // best effort; stale files are harmless
+  }
+  return path;
+}
+
+bool CheckpointStore::load(
+    const std::function<void(std::istream&)>& read_payload) const {
+  const std::vector<std::string> paths = generation_paths();
+  if (paths.empty()) return false;
+  std::string errors;
+  for (const std::string& path : paths) {
+    std::string payload;
+    try {
+      payload = read_frame_file(path);
+    } catch (const std::exception& e) {
+      // Corrupt generation: fall back to the next newest, loudly.
+      PF_LOG_WARN << "skipping corrupt checkpoint: " << e.what();
+      errors += std::string("\n  ") + e.what();
+      continue;
+    }
+    // The frame is intact; a failure from here on is a semantic problem
+    // (wrong fleet shape, incompatible generator) that older generations
+    // share, so it propagates instead of triggering fallback.
+    std::istringstream in(std::move(payload));
+    read_payload(in);
+    return true;
+  }
+  throw std::runtime_error(
+      "no intact checkpoint generation under " + base_path_ +
+      " (every candidate was rejected):" + errors);
+}
+
+void CheckpointStore::clear() {
+  for (const std::string& path : generation_paths()) {
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace passflow::util

@@ -1,0 +1,126 @@
+// Crash-safe checkpoint persistence: versioned CRC-framed blobs published
+// atomically with keep-last-K generation rotation.
+//
+// The scheduler's fleet freeze/thaw (AttackScheduler::save_state) needs its
+// on-disk checkpoints to survive kill -9 and torn writes: a crash mid-save
+// must never destroy the previous good checkpoint, and a corrupt file must
+// never thaw into silently-wrong attack state. The store provides exactly
+// those two guarantees:
+//
+//   publication  Every save streams the payload into a temp file next to
+//                its final name, fsyncs it, and renames it into place (the
+//                POSIX atomic-replace idiom), then fsyncs the directory. A
+//                crash at any byte leaves either the previous generations
+//                untouched or a stray .tmp file the loader ignores.
+//
+//   validation   Every generation is a framed blob — magic, format
+//                version, payload length, payload, CRC-32 over header and
+//                payload, end magic — validated in full BEFORE a byte of
+//                payload reaches the caller. Any flipped or missing byte
+//                fails the frame; the loader then falls back to the next
+//                newest intact generation, and throws (listing what was
+//                wrong with each candidate) only when every generation is
+//                bad. "No generations at all" is a clean false — a fresh
+//                start, not an error.
+//
+//   CheckpointStore store("fleet.ckpt");            // fleet.ckpt.g00000001, ...
+//   store.save([&](std::ostream& out) { scheduler.save_state(out); });
+//   ...
+//   if (store.load([&](std::istream& in) { scheduler.load_state(in, bind); }))
+//     resume();
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace passflow::util {
+
+// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/PNG CRC). `crc`
+// chains: pass a previous return value to extend a running checksum.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0);
+
+// Stages one framed checkpoint file: stream the payload into stream(), then
+// commit() seals the frame (header + CRC footer), fsyncs and atomically
+// renames onto `final_path`. Destruction without commit() removes the temp
+// file and leaves whatever was at `final_path` untouched, so an error
+// mid-payload (a generator that cannot serialize, a full disk) can never
+// clobber the previous good checkpoint.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string final_path);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  // Payload sink. Buffered in memory until commit() so the frame header
+  // can carry the payload length and the CRC can cover header + payload.
+  std::ostream& stream() { return payload_; }
+
+  // Seals, fsyncs and publishes the frame. Throws std::runtime_error on
+  // any IO failure (the temp file is removed, final_path is untouched).
+  // The writer is spent afterwards.
+  void commit();
+
+  const std::string& final_path() const { return final_path_; }
+
+ private:
+  std::string final_path_;
+  std::string temp_path_;
+  std::ostringstream payload_;
+  bool committed_ = false;
+};
+
+struct CheckpointStoreConfig {
+  // Generations kept on disk after each save (>= 1). Older ones are
+  // pruned; the loader can fall back across every kept generation.
+  std::size_t keep_generations = 3;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string base_path,
+                           CheckpointStoreConfig config = {});
+
+  // Publishes a new generation whose payload is produced by
+  // `write_payload`, then prunes generations beyond keep_generations.
+  // Returns the published path. If `write_payload` throws, nothing is
+  // published and the error propagates.
+  std::string save(const std::function<void(std::ostream&)>& write_payload);
+
+  // Thaws the newest intact generation: validates frames newest-first,
+  // skipping corrupt ones, and hands the first valid payload to
+  // `read_payload`. Returns false when no generation exists at all;
+  // throws std::runtime_error — naming every rejected file and why — when
+  // generations exist but all are corrupt. An exception from
+  // `read_payload` itself propagates unchanged (the frame was intact; a
+  // semantic mismatch must be loud, not papered over by older state).
+  bool load(const std::function<void(std::istream&)>& read_payload) const;
+
+  // Existing generation files, newest first.
+  std::vector<std::string> generation_paths() const;
+
+  // Removes every generation file (e.g. after a fleet finishes cleanly).
+  void clear();
+
+  const std::string& base_path() const { return base_path_; }
+
+  // Validates one frame file end to end and returns its payload. Throws
+  // std::runtime_error naming the defect: bad magic, unsupported format
+  // version, truncated/oversized file, checksum mismatch, bad trailer.
+  static std::string read_frame_file(const std::string& path);
+
+ private:
+  std::string generation_path(std::uint64_t seq) const;
+
+  std::string base_path_;
+  CheckpointStoreConfig config_;
+  std::uint64_t next_seq_ = 1;  // scanned from existing generations
+};
+
+}  // namespace passflow::util

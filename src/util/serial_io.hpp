@@ -15,6 +15,14 @@
 
 namespace passflow::util::io {
 
+// Upper bound accepted for any serialized length or element count. A
+// corrupt or bit-flipped stream turns a garbage 64-bit length field into a
+// multi-gigabyte allocation (or std::bad_alloc / the OOM killer) before
+// the next read can fail; capping keeps every corruption a clean
+// std::runtime_error. 1 GiB is orders of magnitude beyond any single
+// field this repository serializes.
+inline constexpr std::uint64_t kMaxSerializedLength = 1ull << 30;
+
 inline void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -24,6 +32,18 @@ inline std::uint64_t read_u64(std::istream& in) {
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   if (!in) throw std::runtime_error("serialized state truncated");
   return v;
+}
+
+// Reads a u64 length/count field and rejects implausible values before
+// anything allocates from them.
+inline std::uint64_t read_length(std::istream& in, const char* what) {
+  const std::uint64_t len = read_u64(in);
+  if (len > kMaxSerializedLength) {
+    throw std::runtime_error(std::string("implausible serialized length for ") +
+                             what + " (" + std::to_string(len) +
+                             "); stream is corrupt");
+  }
+  return len;
 }
 
 inline void write_f64(std::ostream& out, double v) {
@@ -43,7 +63,7 @@ inline void write_string(std::ostream& out, const std::string& s) {
 }
 
 inline std::string read_string(std::istream& in) {
-  const std::uint64_t len = read_u64(in);
+  const std::uint64_t len = read_length(in, "string");
   std::string s(len, '\0');
   in.read(s.data(), static_cast<std::streamsize>(len));
   if (!in) throw std::runtime_error("serialized state truncated");
@@ -57,7 +77,7 @@ inline void write_string_vec(std::ostream& out,
 }
 
 inline std::vector<std::string> read_string_vec(std::istream& in) {
-  const std::uint64_t count = read_u64(in);
+  const std::uint64_t count = read_length(in, "string vector");
   std::vector<std::string> v;
   v.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) v.push_back(read_string(in));
@@ -71,7 +91,7 @@ inline void write_f32_vec(std::ostream& out, const std::vector<float>& v) {
 }
 
 inline std::vector<float> read_f32_vec(std::istream& in) {
-  const std::uint64_t count = read_u64(in);
+  const std::uint64_t count = read_length(in, "f32 vector");
   std::vector<float> v(count);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(count * sizeof(float)));

@@ -1,0 +1,226 @@
+// Fault-injection harness for fleet freeze/thaw: a child process drives a
+// fleet with periodic CheckpointStore autosaves and is SIGKILLed mid-run —
+// no destructors, no flushes, exactly like a crash or OOM kill. The parent
+// then thaws the newest intact generation in a fresh process-like state
+// and finishes the run. The per-scenario metrics must be bitwise equal to
+// a never-interrupted run: the checkpoint cursor resumes the deterministic
+// guess stream exactly where the save cut it, so losing the slices after
+// the last autosave costs progress but never correctness.
+//
+// The children stay strictly single-threaded (no pool, pipeline_depth 0,
+// step()-driven) so fork() is used in its only safe shape: no other
+// threads exist at fork time.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "guessing/scheduler.hpp"
+#include "reference_harness.hpp"
+#include "util/checkpoint.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+using testing::MixingGenerator;
+
+#if defined(__unix__) || defined(__APPLE__)
+
+struct FleetSpec {
+  std::vector<std::size_t> periods;
+  std::vector<std::size_t> budgets;
+  UniqueTracking tracking = UniqueTracking::kExact;
+  std::size_t chunk_size = 500;
+  std::size_t slice_chunks = 1;
+};
+
+std::vector<std::string> mixing_targets(std::size_t period = 1 << 14) {
+  std::vector<std::string> targets;
+  for (std::size_t v = 0; v < period; v += 7) {
+    targets.push_back("g" + std::to_string(v));
+  }
+  return targets;
+}
+
+SessionConfig session_config(const FleetSpec& spec, std::size_t i) {
+  SessionConfig config;
+  config.budget = spec.budgets[i];
+  config.chunk_size = spec.chunk_size;
+  config.checkpoints = {spec.budgets[i]};
+  config.unique_tracking = spec.tracking;
+  return config;
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<MixingGenerator>> generators;
+  std::unique_ptr<HashSetMatcher> matcher;
+  std::unique_ptr<AttackScheduler> scheduler;
+  std::vector<std::size_t> ids;
+};
+
+// `register_scenarios` false builds the thaw side: live generators and a
+// matcher, but a fresh never-driven scheduler for load_state to populate.
+Fleet build_fleet(const FleetSpec& spec, bool register_scenarios = true) {
+  Fleet fleet;
+  fleet.matcher = std::make_unique<HashSetMatcher>(mixing_targets());
+  SchedulerConfig config;
+  config.slice_chunks = spec.slice_chunks;
+  fleet.scheduler = std::make_unique<AttackScheduler>(config);
+  for (std::size_t i = 0; i < spec.periods.size(); ++i) {
+    fleet.generators.push_back(
+        std::make_unique<MixingGenerator>(spec.periods[i]));
+    if (!register_scenarios) {
+      fleet.ids.push_back(i);  // registration order == id for this harness
+      continue;
+    }
+    ScenarioOptions options;
+    options.name = "crash-" + std::to_string(i);
+    options.session = session_config(spec, i);
+    fleet.ids.push_back(fleet.scheduler->add_scenario(
+        *fleet.generators.back(), *fleet.matcher, options));
+  }
+  return fleet;
+}
+
+AttackScheduler::ScenarioResolver resolver_for(Fleet& fleet) {
+  return [&fleet](const AttackScheduler::ScenarioThawInfo& info)
+             -> AttackScheduler::ScenarioBinding {
+    return {*fleet.generators.at(info.index), *fleet.matcher};
+  };
+}
+
+// Runs the fleet uninterrupted to completion and returns per-id results.
+std::vector<RunResult> uninterrupted_run(const FleetSpec& spec) {
+  Fleet fleet = build_fleet(spec);
+  while (fleet.scheduler->step()) {
+  }
+  std::vector<RunResult> results;
+  for (const std::size_t id : fleet.ids) {
+    results.push_back(fleet.scheduler->result(id));
+  }
+  return results;
+}
+
+// Child body: drive with autosaves, then die by SIGKILL mid-run. Never
+// returns. Exit codes mark logic errors (fleet finished before the kill
+// point, or the kill did not take).
+[[noreturn]] void crash_child(const FleetSpec& spec,
+                              const std::string& base_path,
+                              int kill_after_slices, int save_every) {
+  util::CheckpointStore store(base_path);
+  Fleet fleet = build_fleet(spec);
+  int slices = 0;
+  while (fleet.scheduler->step()) {
+    ++slices;
+    if (slices % save_every == 0) {
+      store.save([&](std::ostream& out) {
+        fleet.scheduler->save_state(out);
+      });
+    }
+    if (slices >= kill_after_slices) {
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(43);  // unreachable if the kill took
+    }
+  }
+  ::_exit(42);  // fleet finished before the kill point: spec too small
+}
+
+void expect_killed_by_sigkill(pid_t pid) {
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited instead of dying by signal (status " << status << ")";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+void run_crash_and_thaw(const FleetSpec& spec, const std::string& tag,
+                        bool corrupt_newest) {
+  const std::string base = ::testing::TempDir() + "pf_crash_" + tag + ".ckpt";
+  {
+    util::CheckpointStore cleanup(base);
+    cleanup.clear();
+  }
+
+  const std::vector<RunResult> expected = uninterrupted_run(spec);
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // 31 slices with saves every 7: generations at 7/14/21/28, killed
+    // mid-flight with unsaved progress beyond the last save.
+    crash_child(spec, base, 31, 7);
+  }
+  expect_killed_by_sigkill(pid);
+
+  util::CheckpointStore store(base);
+  ASSERT_FALSE(store.generation_paths().empty())
+      << "child died before publishing any checkpoint";
+  if (corrupt_newest) {
+    // The crash tore the newest generation too: damage it and require the
+    // loader to fall back to the previous intact one.
+    const std::string newest = store.generation_paths().front();
+    std::fstream file(newest,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(20);
+    file.put('\xFF');
+    ASSERT_TRUE(file.good());
+  }
+
+  Fleet thawed = build_fleet(spec, /*register_scenarios=*/false);
+  ASSERT_TRUE(store.load([&](std::istream& in) {
+    thawed.scheduler->load_state(in, resolver_for(thawed));
+  }));
+  while (thawed.scheduler->step()) {
+  }
+  for (std::size_t i = 0; i < thawed.ids.size(); ++i) {
+    PF_EXPECT_SAME_RUN(expected[i], thawed.scheduler->result(thawed.ids[i]));
+  }
+  store.clear();
+}
+
+TEST(CrashRecovery, SigkilledFleetThawsBitwiseEqualExactTracking) {
+  FleetSpec spec;
+  spec.periods = {1 << 14, 1 << 12};
+  spec.budgets = {20000, 18000};
+  spec.tracking = UniqueTracking::kExact;
+  run_crash_and_thaw(spec, "exact", /*corrupt_newest=*/false);
+}
+
+TEST(CrashRecovery, SigkilledFleetThawsBitwiseEqualSketchTracking) {
+  FleetSpec spec;
+  spec.periods = {1 << 13, 1 << 12};
+  spec.budgets = {20000, 18000};
+  spec.tracking = UniqueTracking::kSketch;
+  run_crash_and_thaw(spec, "sketch", /*corrupt_newest=*/false);
+}
+
+TEST(CrashRecovery, TornNewestGenerationFallsBackToPreviousAndStillMatches) {
+  FleetSpec spec;
+  spec.periods = {1 << 14, 1 << 12};
+  spec.budgets = {20000, 18000};
+  spec.tracking = UniqueTracking::kExact;
+  run_crash_and_thaw(spec, "torn", /*corrupt_newest=*/true);
+}
+
+#else  // !unix
+
+TEST(CrashRecovery, RequiresPosix) {
+  GTEST_SKIP() << "fork/SIGKILL fault injection requires POSIX";
+}
+
+#endif
+
+}  // namespace
+}  // namespace passflow::guessing

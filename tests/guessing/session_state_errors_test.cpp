@@ -1,0 +1,202 @@
+// AttackSession::load_state hardening suite, driven by the golden corrupt
+// fixtures in tests/fixtures/state/ (see its README for the damage table).
+// Two properties under test: every damaged stream is rejected with the
+// right message class, and a rejected load POISONS the session — no
+// half-thawed attack may ever step to silently-wrong metrics.
+#include "guessing/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reference_harness.hpp"
+#include "util/cardinality_sketch.hpp"
+#include "util/serial_io.hpp"
+
+namespace passflow::guessing {
+namespace {
+
+using testing::MixingGenerator;
+using testing::ReferenceConfig;
+using testing::reference_run;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(PASSFLOW_TEST_FIXTURE_DIR) + "/state/" + name;
+}
+
+std::ifstream open_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  return in;
+}
+
+std::vector<std::string> mixing_targets(std::size_t period = 1 << 14) {
+  std::vector<std::string> targets;
+  for (std::size_t v = 0; v < period; v += 7) {
+    targets.push_back("g" + std::to_string(v));
+  }
+  return targets;
+}
+
+// The run shape the golden fixtures were saved under (see the README).
+SessionConfig fixture_config() {
+  SessionConfig config;
+  config.budget = 20000;
+  config.chunk_size = 1000;
+  config.checkpoints = {20000};
+  return config;
+}
+
+void expect_throws_containing(const std::function<void()>& fn,
+                              const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected an exception mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+// A session whose load_state threw must be poisoned: stepping, reporting,
+// saving or merging it throws std::logic_error instead of running on
+// half-thawed state.
+void expect_poisoned(AttackSession& session) {
+  EXPECT_THROW(session.step(), std::logic_error);
+  EXPECT_THROW(session.result(), std::logic_error);
+  std::ostringstream out;
+  EXPECT_THROW(session.save_state(out), std::logic_error);
+  util::CardinalitySketch sketch(14);
+  EXPECT_THROW(session.merge_unique_sketch(sketch), std::logic_error);
+}
+
+TEST(SessionStateErrors, ValidFixtureThawsAndFinishesBitwiseEqual) {
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto in = open_fixture("valid.state");
+  session.load_state(in);
+  EXPECT_EQ(session.stats().produced, 7000u);
+  session.run();
+
+  MixingGenerator reference_generator;
+  ReferenceConfig reference;
+  reference.budget = 20000;
+  reference.chunk_size = 1000;
+  reference.checkpoints = {20000};
+  const RunResult expected =
+      reference_run(reference_generator, matcher, reference);
+  ASSERT_GT(expected.final().matched, 0u);
+  PF_EXPECT_SAME_RUN(expected, session.result());
+}
+
+TEST(SessionStateErrors, BadMagicIsRejectedAndPoisons) {
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto in = open_fixture("bad_magic.state");
+  expect_throws_containing([&] { session.load_state(in); }, "bad magic");
+  expect_poisoned(session);
+}
+
+TEST(SessionStateErrors, WrongFormatVersionIsRejectedAndPoisons) {
+  // The format version lives inside the magic tag (PFSESS1), so a version
+  // bump reads as a magic mismatch — still a loud, early rejection.
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto in = open_fixture("wrong_version.state");
+  expect_throws_containing([&] { session.load_state(in); }, "bad magic");
+  expect_poisoned(session);
+}
+
+TEST(SessionStateErrors, TruncatedStreamIsRejectedAndPoisons) {
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto in = open_fixture("truncated.state");
+  expect_throws_containing([&] { session.load_state(in); }, "truncated");
+  expect_poisoned(session);
+}
+
+TEST(SessionStateErrors, ConfigShapeMismatchIsRejectedAndPoisons) {
+  // config_mismatch.state is a perfectly intact save — of a different run
+  // shape. The config echo must reject it before any state is trusted.
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto in = open_fixture("config_mismatch.state");
+  expect_throws_containing([&] { session.load_state(in); },
+                           "does not match this config");
+  expect_poisoned(session);
+}
+
+TEST(SessionStateErrors, GeneratorNameMismatchIsRejectedAndPoisons) {
+  class RenamedMixing : public MixingGenerator {
+   public:
+    std::string name() const override { return "not-mixing"; }
+  };
+  HashSetMatcher matcher(mixing_targets());
+  RenamedMixing generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto in = open_fixture("valid.state");
+  expect_throws_containing([&] { session.load_state(in); },
+                           "produced by generator");
+  expect_poisoned(session);
+}
+
+TEST(SessionStateErrors, PoisonedLoadRejectsASecondLoadAttempt) {
+  // Retrying a load on a poisoned session must throw too: partial state
+  // from the first attempt could otherwise mix into the second.
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  auto bad = open_fixture("truncated.state");
+  EXPECT_THROW(session.load_state(bad), std::runtime_error);
+  auto good = open_fixture("valid.state");
+  EXPECT_THROW(session.load_state(good), std::logic_error);
+}
+
+TEST(SessionStateErrors, FailedLoadDoesNotPoisonOtherSessions) {
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator broken_generator, clean_generator;
+  AttackSession broken(broken_generator, matcher, fixture_config());
+  auto bad = open_fixture("bad_magic.state");
+  EXPECT_THROW(broken.load_state(bad), std::runtime_error);
+
+  AttackSession clean(clean_generator, matcher, fixture_config());
+  auto good = open_fixture("valid.state");
+  clean.load_state(good);
+  clean.run();
+  EXPECT_EQ(clean.result().final().guesses, 20000u);
+}
+
+TEST(SessionStateErrors, ImplausibleLengthFieldIsACleanErrorNotAnAllocation) {
+  // Flip a length prefix to a huge value: the bounded reader must reject
+  // it as corruption before attempting a multi-gigabyte allocation.
+  std::ifstream in(fixture_path("valid.state"), std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  std::string raw = bytes.str();
+  // The generator-name length prefix sits right after the 8-byte magic;
+  // stamp it with a value far past kMaxSerializedLength.
+  const std::uint64_t huge = util::io::kMaxSerializedLength * 64;
+  for (std::size_t b = 0; b < 8; ++b) {
+    raw[8 + b] = static_cast<char>((huge >> (8 * b)) & 0xFF);
+  }
+  HashSetMatcher matcher(mixing_targets());
+  MixingGenerator generator;
+  AttackSession session(generator, matcher, fixture_config());
+  std::istringstream corrupt(raw);
+  expect_throws_containing([&] { session.load_state(corrupt); },
+                           "implausible serialized length");
+  expect_poisoned(session);
+}
+
+}  // namespace
+}  // namespace passflow::guessing

@@ -5,8 +5,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <unordered_set>
+#include <vector>
 
 #include "baselines/markov.hpp"
 #include "data/synthetic_rockyou.hpp"
@@ -14,8 +16,11 @@
 #include "guessing/dynamic_sampler.hpp"
 #include "guessing/harness.hpp"
 #include "guessing/interpolation.hpp"
+#include "guessing/reference_harness.hpp"
+#include "guessing/scheduler.hpp"
 #include "guessing/static_sampler.hpp"
 #include "test_support.hpp"
+#include "util/checkpoint.hpp"
 
 namespace passflow {
 namespace {
@@ -259,6 +264,89 @@ TEST_F(EndToEndTest, MarkovBaselineAlsoFindsMatches) {
   harness.budget = 20000;
   const auto result = run_guessing(sampler, matcher, harness);
   EXPECT_GT(result.final().matched, 0u);
+}
+
+TEST_F(EndToEndTest, FleetCheckpointSaveAndThawResumeBitwise) {
+  // Freeze/thaw smoke over the real pipeline: a two-scenario fleet of
+  // trained StaticSamplers is frozen to an on-disk CheckpointStore
+  // mid-run, thawed into a fresh scheduler with fresh sampler instances,
+  // and must finish with metrics bitwise equal to a never-interrupted run.
+  guessing::HashSetMatcher matcher(fresh_target_set());
+  const std::uint64_t seeds[] = {301, 302};
+  const std::size_t budget = 20000;
+
+  auto make_sampler = [&](std::uint64_t seed) {
+    guessing::StaticSamplerConfig config;
+    config.seed = seed;
+    return std::make_unique<guessing::StaticSampler>(*model_, *encoder_,
+                                                     config);
+  };
+  auto session_config = [&] {
+    guessing::SessionConfig config;
+    config.budget = budget;
+    config.chunk_size = 1024;
+    config.checkpoints = {budget};
+    return config;
+  };
+  auto build = [&](guessing::AttackScheduler& scheduler,
+                   std::vector<std::unique_ptr<guessing::StaticSampler>>&
+                       samplers,
+                   bool register_scenarios) {
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < 2; ++i) {
+      samplers.push_back(make_sampler(seeds[i]));
+      if (!register_scenarios) continue;
+      guessing::ScenarioOptions options;
+      options.name = "static-" + std::to_string(seeds[i]);
+      options.session = session_config();
+      ids.push_back(scheduler.add_scenario(*samplers.back(), matcher,
+                                           options));
+    }
+    return ids;
+  };
+
+  guessing::SchedulerConfig fleet;
+  fleet.slice_chunks = 2;
+
+  // Uninterrupted reference fleet.
+  guessing::AttackScheduler reference(fleet);
+  std::vector<std::unique_ptr<guessing::StaticSampler>> reference_samplers;
+  const auto ids = build(reference, reference_samplers, true);
+  while (reference.step()) {
+  }
+
+  // Interrupted fleet: freeze to disk mid-run, drop it, thaw, finish.
+  const std::string base = ::testing::TempDir() + "pf_e2e_fleet.ckpt";
+  util::CheckpointStore store(base);
+  store.clear();
+  {
+    guessing::AttackScheduler scheduler(fleet);
+    std::vector<std::unique_ptr<guessing::StaticSampler>> samplers;
+    build(scheduler, samplers, true);
+    for (int i = 0; i < 7; ++i) ASSERT_TRUE(scheduler.step());
+    store.save(
+        [&](std::ostream& out) { scheduler.save_state(out); });
+  }
+
+  guessing::AttackScheduler thawed(fleet);
+  std::vector<std::unique_ptr<guessing::StaticSampler>> thawed_samplers;
+  build(thawed, thawed_samplers, false);
+  ASSERT_TRUE(store.load([&](std::istream& in) {
+    thawed.load_state(
+        in, [&](const guessing::AttackScheduler::ScenarioThawInfo& info)
+                -> guessing::AttackScheduler::ScenarioBinding {
+          return {*thawed_samplers.at(info.index), matcher};
+        });
+  }));
+  const auto resumed = thawed.aggregate();
+  EXPECT_GT(resumed.produced, 0u);
+  while (thawed.step()) {
+  }
+
+  for (const std::size_t id : ids) {
+    PF_EXPECT_SAME_RUN(reference.result(id), thawed.result(id));
+  }
+  store.clear();
 }
 
 TEST_F(EndToEndTest, CheckpointMetricsMonotoneInBudget) {
