@@ -1,0 +1,33 @@
+// Fuzz target: CheckpointStore::read_frame_file — the CRC-framed
+// checkpoint loader that every crash recovery path trusts with
+// arbitrarily torn or corrupt on-disk bytes.
+//
+// Contract under test: any input either parses to a payload or is
+// rejected with std::runtime_error naming the defect. Anything else — a
+// crash, a sanitizer report, an unexpected exception type escaping to
+// std::terminate — is a finding.
+//
+// Seed corpus: tests/fixtures/state/ (one intact frame plus the
+// truncated/bad-magic/wrong-version/config-mismatch fixtures the
+// crash-recovery tests already use).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "temp_input.hpp"
+#include "util/checkpoint.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string& path =
+      passflow::fuzz::write_input("frame", data, size);
+  try {
+    const std::string payload =
+        passflow::util::CheckpointStore::read_frame_file(path);
+    (void)payload;
+  } catch (const std::runtime_error&) {
+    // Rejected corrupt frame: the documented (and desired) outcome.
+  }
+  return 0;
+}

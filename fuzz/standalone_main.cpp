@@ -1,0 +1,32 @@
+// Standalone driver for the fuzz targets on toolchains without libFuzzer
+// (GCC locally; any build without -fsanitize=fuzzer). Runs each file named
+// on the command line through LLVMFuzzerTestOneInput once — exactly what a
+// libFuzzer binary does with file arguments — so the checked-in corpus
+// doubles as a regression test on every compiler (the `fuzz` ctest label).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int run = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++run;
+  }
+  std::fprintf(stderr, "ran %d inputs\n", run);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helper for path-based fuzz targets: both fuzzed APIs
+// (CheckpointStore::read_frame_file, MappedMatcher's constructor) take a
+// file path, so each input is materialized as one per-process temp file,
+// rewritten in place for every iteration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+namespace passflow::fuzz {
+
+// Writes `size` bytes of `data` to a stable per-process temp path and
+// returns it. Aborts (never returns an invalid path) if the filesystem is
+// unusable — that is a harness failure, not a finding.
+inline const std::string& write_input(const char* tag,
+                                      const std::uint8_t* data,
+                                      std::size_t size) {
+  static const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (std::string("passflow_fuzz_") + tag + "_" +
+        std::to_string(::getpid())))
+          .string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "fuzz harness: cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  return path;
+}
+
+}  // namespace passflow::fuzz

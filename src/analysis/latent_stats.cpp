@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "guessing/interpolation.hpp"
 

@@ -3,6 +3,7 @@
 // points) and locality (similar passwords sit close together).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,9 +1,13 @@
 #include "analysis/quality.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <map>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/pcfg.hpp"
 

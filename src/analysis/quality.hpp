@@ -10,6 +10,7 @@
 // where exact strings differ.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

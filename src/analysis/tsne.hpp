@@ -4,6 +4,10 @@
 // Barnes-Hut.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "nn/matrix.hpp"
 #include "util/rng.hpp"
 

@@ -1,7 +1,13 @@
 #include "baselines/cwae.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
 
 #include "nn/ops.hpp"
 #include "util/logging.hpp"

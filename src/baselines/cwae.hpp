@@ -12,7 +12,12 @@
 // uses 128 for 10-character passwords) — the repo default keeps that ratio.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "data/encoder.hpp"
 #include "guessing/generator.hpp"

@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
 
 #include "nn/ops.hpp"
 #include "util/logging.hpp"

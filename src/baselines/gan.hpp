@@ -12,7 +12,12 @@
 // between [22] and [33].
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "data/encoder.hpp"
 #include "guessing/generator.hpp"

@@ -1,7 +1,13 @@
 #include "baselines/markov.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 #include "util/serial_io.hpp"
 
 namespace passflow::baselines {

@@ -7,6 +7,9 @@
 // cheap opponent on structured corpora.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>

@@ -2,9 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <map>
 #include <limits>
-#include <set>
+#include <ostream>
+#include <queue>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 #include "util/serial_io.hpp"
 
 namespace passflow::baselines {

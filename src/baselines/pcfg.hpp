@@ -13,10 +13,12 @@
 //    interface, comparable to the neural models in the harness).
 #pragma once
 
-#include <map>
-#include <queue>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "guessing/generator.hpp"

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 #include "util/serial_io.hpp"
 
 namespace passflow::baselines {

@@ -9,7 +9,9 @@
 // (capitalize, append digits/years, leetspeak, suffix symbols, ...).
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 

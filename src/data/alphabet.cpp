@@ -1,6 +1,8 @@
 #include "data/alphabet.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <string>
 
 namespace passflow::data {
 

@@ -1,7 +1,11 @@
 #include "data/dataset.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace passflow::data {
 

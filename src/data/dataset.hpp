@@ -1,6 +1,7 @@
 // Training dataset: password strings + shuffled, dequantized minibatches.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -9,6 +9,7 @@
 // be read back as guesses (and why collisions happen, §III-C).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

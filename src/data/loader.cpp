@@ -4,6 +4,8 @@
 #include <fstream>
 #include <istream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace passflow::data {
 

@@ -7,6 +7,7 @@
 // bound, representable characters).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

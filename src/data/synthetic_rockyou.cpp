@@ -1,7 +1,11 @@
 #include "data/synthetic_rockyou.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "data/alphabet.hpp"
 #include "data/wordlists.hpp"

@@ -10,6 +10,7 @@
 // protocol of §IV-D behaves as it does on the real data.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

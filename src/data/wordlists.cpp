@@ -1,5 +1,8 @@
 #include "data/wordlists.hpp"
 
+#include <string>
+#include <vector>
+
 namespace passflow::data {
 
 const std::vector<std::string>& common_passwords() {

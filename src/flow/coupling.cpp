@@ -1,8 +1,11 @@
 #include "flow/coupling.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "nn/ops.hpp"
 

@@ -12,7 +12,8 @@
 // are zero-initialized, every coupling starts exactly at the identity.
 #pragma once
 
-#include <memory>
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "flow/mask.hpp"

@@ -1,7 +1,10 @@
 #include "flow/flow_model.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"

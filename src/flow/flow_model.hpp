@@ -2,6 +2,7 @@
 // log-likelihood (Eq. 1-8) under a factorized standard-normal prior.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,6 +1,9 @@
 #include "flow/mask.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace passflow::flow {
 

@@ -9,6 +9,7 @@
 // position is transformed at least every other layer.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

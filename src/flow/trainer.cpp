@@ -1,7 +1,12 @@
 #include "flow/trainer.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <functional>
 #include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "util/timer.hpp"

@@ -2,8 +2,12 @@
 // epoch by validation NLL).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "data/dataset.hpp"
 #include "flow/flow_model.hpp"

@@ -1,8 +1,11 @@
 #include "guessing/conditional.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace passflow::guessing {
 

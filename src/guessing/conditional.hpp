@@ -18,6 +18,8 @@
 //      model).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

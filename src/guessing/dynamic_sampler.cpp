@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
 #include <iterator>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/serial_io.hpp"
 

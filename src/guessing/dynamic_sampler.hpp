@@ -17,7 +17,12 @@
 // available via table1_parameters().
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "data/encoder.hpp"
 #include "flow/flow_model.hpp"

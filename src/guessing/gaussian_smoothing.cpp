@@ -1,5 +1,7 @@
 #include "guessing/gaussian_smoothing.hpp"
 
+#include <cstddef>
+
 namespace passflow::guessing {
 
 void apply_gaussian_smoothing(nn::Matrix& x, double sigma_bins,

@@ -6,6 +6,7 @@
 // Dynamic Sampling, Algorithm 1) receive it through on_match().
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>

@@ -1,5 +1,7 @@
 #include "guessing/harness.hpp"
 
+#include <utility>
+
 namespace passflow::guessing {
 
 RunResult run_guessing(GuessGenerator& generator, const Matcher& matcher,

@@ -10,6 +10,9 @@
 // AttackSession directly.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "guessing/generator.hpp"
 #include "guessing/matcher.hpp"
 #include "guessing/metrics.hpp"

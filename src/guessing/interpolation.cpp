@@ -1,6 +1,10 @@
 #include "guessing/interpolation.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace passflow::guessing {
 

@@ -1,6 +1,7 @@
 // Latent-space interpolation between two passwords (Algorithm 2, Fig. 3).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,9 +1,13 @@
 #include "guessing/mapped_matcher.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <istream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/flat_string_set.hpp"
 #include "util/hash.hpp"

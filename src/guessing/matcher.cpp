@@ -1,6 +1,10 @@
 #include "guessing/matcher.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/hash.hpp"
 

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <string>
 #include <unordered_set>
 #include <vector>

@@ -1,6 +1,8 @@
 #include "guessing/metrics.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace passflow::guessing {
 

@@ -1,6 +1,10 @@
 #include "guessing/pivot_sampler.hpp"
 
+#include <cstddef>
+#include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "guessing/interpolation.hpp"
 

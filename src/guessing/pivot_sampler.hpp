@@ -6,6 +6,7 @@
 // "jimmy91" for sigma in {0.05, 0.08, 0.10, 0.15}.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

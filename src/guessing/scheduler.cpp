@@ -1,9 +1,18 @@
 #include "guessing/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <istream>
 #include <limits>
+#include <memory>
+#include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/serial_io.hpp"
 
@@ -15,6 +24,9 @@ constexpr char kStateMagic[] = "PFSCHD1\n";
 constexpr char kStateEndMagic[] = "PFSCHDE\n";
 
 namespace io = util::io;
+
+using util::MutexLock;
+using util::ReleasableMutexLock;
 
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
@@ -102,7 +114,7 @@ std::size_t AttackScheduler::add_scenario(GuessGenerator& generator,
 
   std::size_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
     scenario->id = id;
     if (scenario->name.empty()) {
@@ -124,7 +136,7 @@ std::size_t AttackScheduler::add_scenario(GuessGenerator& generator,
   return id;
 }
 
-std::shared_ptr<AttackScheduler::Scenario> AttackScheduler::find_scenario(
+std::shared_ptr<AttackScheduler::Scenario> AttackScheduler::find_scenario_locked(
     std::size_t id) const {
   for (const auto& scenario : scenarios_) {
     if (scenario->id == id) return scenario;
@@ -250,7 +262,7 @@ void AttackScheduler::run_slice(Scenario& scenario) {
   const std::size_t produced_delta =
       scenario.session->stats().produced - produced_before;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     scenario.chunks_driven += steps;
     scenario.virtual_time +=
         static_cast<double>(steps) / effective_weight_locked(scenario);
@@ -277,9 +289,9 @@ void AttackScheduler::run_slice(Scenario& scenario) {
 bool AttackScheduler::step() {
   Scenario* scenario = nullptr;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    ReleasableMutexLock lock(mu_);
     for (;;) {
-      cv_.wait(lock, [&] { return quiesce_count_ == 0; });
+      while (quiesce_count_ != 0) cv_.wait(lock);
       Clock::time_point next_eligible = Clock::time_point::max();
       scenario = pick_next_locked(Clock::now(), &next_eligible);
       if (scenario != nullptr) break;
@@ -292,7 +304,7 @@ bool AttackScheduler::step() {
   }
   run_slice(*scenario);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (first_error_) {
       const std::exception_ptr error = first_error_;
       first_error_ = nullptr;
@@ -306,7 +318,7 @@ void AttackScheduler::driver_loop() {
   for (;;) {
     Scenario* scenario = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      ReleasableMutexLock lock(mu_);
       for (;;) {
         Clock::time_point next_eligible = Clock::time_point::max();
         if (quiesce_count_ == 0) {
@@ -338,7 +350,7 @@ void AttackScheduler::driver_loop() {
 void AttackScheduler::run() {
   std::size_t drivers = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::size_t runnable = 0;
     for (const auto& scenario : scenarios_) {
       if (scenario->status == ScenarioStatus::kRunning && !scenario->removing) {
@@ -359,7 +371,7 @@ void AttackScheduler::run() {
   }
   for (auto& thread : threads) thread.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (first_error_) {
       const std::exception_ptr error = first_error_;
       first_error_ = nullptr;
@@ -369,12 +381,12 @@ void AttackScheduler::run() {
 }
 
 bool AttackScheduler::finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_slices_ == 0 && !any_runnable_locked();
 }
 
 std::size_t AttackScheduler::scenario_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return scenarios_.size();
 }
 
@@ -402,12 +414,12 @@ ScenarioSnapshot AttackScheduler::snapshot_locked(
 }
 
 ScenarioSnapshot AttackScheduler::scenario(std::size_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return snapshot_locked(*find_scenario(id));
+  MutexLock lock(mu_);
+  return snapshot_locked(*find_scenario_locked(id));
 }
 
 std::vector<ScenarioSnapshot> AttackScheduler::scenarios() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ScenarioSnapshot> snaps;
   snaps.reserve(scenarios_.size());
   for (const auto& entry : scenarios_) {
@@ -417,8 +429,8 @@ std::vector<ScenarioSnapshot> AttackScheduler::scenarios() const {
 }
 
 void AttackScheduler::pause_scenario(std::size_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::shared_ptr<Scenario> scenario = find_scenario(id);
+  MutexLock lock(mu_);
+  const std::shared_ptr<Scenario> scenario = find_scenario_locked(id);
   if (scenario->status == ScenarioStatus::kRunning) {
     scenario->status = ScenarioStatus::kPaused;
   }
@@ -427,8 +439,8 @@ void AttackScheduler::pause_scenario(std::size_t id) {
 
 void AttackScheduler::resume_scenario(std::size_t id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const std::shared_ptr<Scenario> scenario = find_scenario(id);
+    MutexLock lock(mu_);
+    const std::shared_ptr<Scenario> scenario = find_scenario_locked(id);
     if (scenario->status == ScenarioStatus::kPaused) {
       // Fair-queuing resume rule: a long-paused scenario's virtual clock is
       // stale-small, and left alone it would monopolize every driver until
@@ -450,12 +462,12 @@ void AttackScheduler::resume_scenario(std::size_t id) {
 RunResult AttackScheduler::remove_scenario(std::size_t id) {
   std::shared_ptr<Scenario> scenario;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    ReleasableMutexLock lock(mu_);
     // The shared_ptr keeps the scenario alive across the wait even if a
     // concurrent remove_scenario(id) erases the vector entry first.
-    scenario = find_scenario(id);
+    scenario = find_scenario_locked(id);
     scenario->removing = true;  // no new slices from this point
-    cv_.wait(lock, [&] { return !scenario->in_flight; });
+    while (scenario->in_flight) cv_.wait(lock);
     bool erased = false;
     for (auto it = scenarios_.begin(); it != scenarios_.end(); ++it) {
       if (it->get() == scenario.get()) {
@@ -481,9 +493,9 @@ RunResult AttackScheduler::remove_scenario(std::size_t id) {
 RunResult AttackScheduler::result(std::size_t id) const {
   std::shared_ptr<Scenario> scenario;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    scenario = find_scenario(id);
-    cv_.wait(lock, [&] { return !scenario->in_flight; });
+    ReleasableMutexLock lock(mu_);
+    scenario = find_scenario_locked(id);
+    while (scenario->in_flight) cv_.wait(lock);
     // Reserve the scenario so no new slice dispatches while the result is
     // copied outside the lock; remove_scenario waits on the same flag, so
     // the session cannot be torn down under the copy either.
@@ -491,7 +503,7 @@ RunResult AttackScheduler::result(std::size_t id) const {
   }
   RunResult result = scenario->session->result();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     scenario->in_flight = false;
   }
   cv_.notify_all();
@@ -503,7 +515,7 @@ SchedulerStats AttackScheduler::aggregate() const {
   // precision throws here, while the scheduler is still fully live.
   util::CardinalitySketch unionsketch(config_.unique_union_precision_bits);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(mu_);
   // Quiesce: park slice dispatch and wait for in-flight slices to land so
   // every session is readable at a chunk boundary. Slices are chunk-sized,
   // so the stall is brief. The gate is a counter so concurrent aggregate()
@@ -512,7 +524,7 @@ SchedulerStats AttackScheduler::aggregate() const {
   // raised and wedge every driver forever; errors are deferred through
   // first_error_ and rethrown after the gate is released.
   ++quiesce_count_;
-  cv_.wait(lock, [&] { return active_slices_ == 0; });
+  while (active_slices_ != 0) cv_.wait(lock);
 
   SchedulerStats stats;
   stats.scenarios = scenarios_.size();
@@ -576,20 +588,27 @@ SchedulerStats AttackScheduler::aggregate() const {
 
 // ---- freeze / thaw ---------------------------------------------------------
 
+bool AttackScheduler::quiesced_for_save_locked() const {
+  // Protocol note for the analysis (and the reader): the quiesce scan
+  // below reads per-scenario in_flight reservations, which is only sound
+  // while mu_ is held — asserted here so the capability is part of the
+  // quiesce path itself, not just its callers.
+  mu_.assert_held();
+  if (active_slices_ != 0) return false;
+  for (const auto& scenario : scenarios_) {
+    if (scenario->in_flight) return false;
+  }
+  return true;
+}
+
 void AttackScheduler::save_state(std::ostream& out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(mu_);
   // Quiesce through the aggregate() gate, plus the result()-copy
   // reservation: a scenario with in_flight set but no slice (a result()
   // copy in progress) is being read outside the lock, so the save must
   // wait it out too before touching any session.
   ++quiesce_count_;
-  cv_.wait(lock, [&] {
-    if (active_slices_ != 0) return false;
-    for (const auto& scenario : scenarios_) {
-      if (scenario->in_flight) return false;
-    }
-    return true;
-  });
+  while (!quiesced_for_save_locked()) cv_.wait(lock);
 
   const Clock::time_point now = Clock::now();
   try {
@@ -669,7 +688,7 @@ void AttackScheduler::load_state(std::istream& in,
     throw std::invalid_argument(
         "AttackScheduler::load_state requires a scenario resolver");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(mu_);
   if (!scenarios_.empty() || next_id_ != 0 || timer_started_) {
     throw std::logic_error(
         "AttackScheduler::load_state must run on a freshly constructed "

@@ -69,17 +69,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "guessing/session.hpp"
+#include "util/annotated_sync.hpp"
 #include "util/cardinality_sketch.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -203,43 +202,43 @@ class AttackScheduler {
   // callable mid-run — a live run() picks the newcomer up on the next
   // slice decision.
   std::size_t add_scenario(GuessGenerator& generator, MatcherRef matcher,
-                           ScenarioOptions options = {});
+                           ScenarioOptions options = {}) PF_EXCLUDES(mu_);
 
   // Pauses/resumes slice eligibility. Pausing never interrupts an
   // in-flight slice; it just stops new ones. Unknown ids throw
   // std::out_of_range (as does every id-taking method).
-  void pause_scenario(std::size_t id);
-  void resume_scenario(std::size_t id);
+  void pause_scenario(std::size_t id) PF_EXCLUDES(mu_);
+  void resume_scenario(std::size_t id) PF_EXCLUDES(mu_);
 
   // Deregisters a scenario after its in-flight slice (if any) lands, and
   // returns its results up to that point. The caller may destroy the
   // generator afterwards.
-  RunResult remove_scenario(std::size_t id);
+  RunResult remove_scenario(std::size_t id) PF_EXCLUDES(mu_);
 
   // Drives one slice of the next runnable scenario on the calling thread.
   // Returns false (doing nothing) when nothing is runnable — every active
   // scenario finished or paused. When every runnable scenario is merely
   // rate-capped out, step() sleeps until the earliest bucket refill and
   // then drives — the fleet is not drained, just throttled.
-  bool step();
+  bool step() PF_EXCLUDES(mu_);
 
   // Drives slices on up to max_concurrent driver threads until nothing is
   // runnable. Returns with paused scenarios still paused. Must not be
   // called concurrently with itself or step().
-  void run();
+  void run() PF_EXCLUDES(mu_);
 
   // True when no registered scenario is eligible for another slice.
-  bool finished() const;
+  bool finished() const PF_EXCLUDES(mu_);
 
-  std::size_t scenario_count() const;
-  ScenarioSnapshot scenario(std::size_t id) const;
-  std::vector<ScenarioSnapshot> scenarios() const;  // registration order
+  std::size_t scenario_count() const PF_EXCLUDES(mu_);
+  ScenarioSnapshot scenario(std::size_t id) const PF_EXCLUDES(mu_);
+  std::vector<ScenarioSnapshot> scenarios() const PF_EXCLUDES(mu_);  // registration order
 
   // Results of one scenario (waits for its in-flight slice to land, then
   // reserves the scenario so no new slice dispatches while the result is
   // copied — outside the scheduler lock). Callable any number of times;
   // on a finished scenario every call returns the same values.
-  RunResult result(std::size_t id) const;
+  RunResult result(std::size_t id) const PF_EXCLUDES(mu_);
 
   // Everything load_state knows about one saved scenario before asking the
   // resolver to bind it to live objects. `session` is the saved per-
@@ -271,7 +270,7 @@ class AttackScheduler {
   // callable mid-run() — drivers resume when the save completes. On error
   // the stream contents are unspecified and must be discarded (a
   // CheckpointStore save does this automatically by never publishing).
-  void save_state(std::ostream& out);
+  void save_state(std::ostream& out) PF_EXCLUDES(mu_);
 
   // Thaws a save_state() stream into a freshly constructed scheduler (no
   // scenarios registered, never driven — throws std::logic_error
@@ -282,7 +281,8 @@ class AttackScheduler {
   // remaining time at save is the remaining time now (a scenario saved
   // past its deadline is past it on thaw, with escalation active
   // immediately). On failure the scheduler is left unchanged and usable.
-  void load_state(std::istream& in, const ScenarioResolver& resolver);
+  void load_state(std::istream& in, const ScenarioResolver& resolver)
+      PF_EXCLUDES(mu_);
 
   // Fleet aggregate; briefly quiesces slice dispatch so every session can
   // be read at a chunk boundary. Concurrent aggregate() calls compose (the
@@ -291,7 +291,7 @@ class AttackScheduler {
   // after the fleet finished, which no driver would ever rethrow — it is
   // rethrown here once the quiesce gate has been released, so errors are
   // never silently swallowed.
-  SchedulerStats aggregate() const;
+  SchedulerStats aggregate() const PF_EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -322,53 +322,69 @@ class AttackScheduler {
     Clock::time_point last_slice_at{};
   };
 
-  // All private helpers assume mu_ is held unless noted. Waiting with a
-  // scenario pointer across a cv wait requires the shared_ptr form: a
-  // concurrent remove_scenario may erase the vector entry, and only the
-  // shared_ptr keeps the object alive for the waiter's predicate.
-  std::shared_ptr<Scenario> find_scenario(std::size_t id) const;
+  // Every *_locked helper carries PF_REQUIRES(mu_): the annotation is the
+  // machine-checked contract, the suffix keeps call sites readable.
+  // Waiting with a scenario pointer across a cv wait requires the
+  // shared_ptr form: a concurrent remove_scenario may erase the vector
+  // entry, and only the shared_ptr keeps the object alive for the waiter's
+  // re-check.
+  std::shared_ptr<Scenario> find_scenario_locked(std::size_t id) const
+      PF_REQUIRES(mu_);
   // Fair pick over eligible scenarios; refills rate-cap buckets as a side
   // effect. When nothing is eligible but some runnable scenario is only
   // rate-capped out, *next_eligible is lowered to its projected refill
   // time (callers use it for a timed park); untouched otherwise.
   Scenario* pick_next_locked(Clock::time_point now,
-                             Clock::time_point* next_eligible);
-  bool any_runnable_locked() const;
-  double virtual_now_locked() const;  // min virtual_time over kRunning
-  double effective_weight_locked(const Scenario& scenario) const;
-  bool past_deadline_locked(const Scenario& scenario) const;
-  void dispatch_locked(Scenario& scenario);
+                             Clock::time_point* next_eligible)
+      PF_REQUIRES(mu_);
+  bool any_runnable_locked() const PF_REQUIRES(mu_);
+  // min virtual_time over kRunning
+  double virtual_now_locked() const PF_REQUIRES(mu_);
+  double effective_weight_locked(const Scenario& scenario) const
+      PF_REQUIRES(mu_);
+  bool past_deadline_locked(const Scenario& scenario) const PF_REQUIRES(mu_);
+  void dispatch_locked(Scenario& scenario) PF_REQUIRES(mu_);
   // const: touches only the scenario (latching its deadline outcome), so
   // aggregate() can park a broken session it trips over.
-  void mark_finished_locked(Scenario& scenario) const;
-  ScenarioSnapshot snapshot_locked(const Scenario& scenario) const;
-  void run_slice(Scenario& scenario);  // called WITHOUT mu_ held
-  void driver_loop();
-  void note_driving_started_locked();
+  void mark_finished_locked(Scenario& scenario) const PF_REQUIRES(mu_);
+  ScenarioSnapshot snapshot_locked(const Scenario& scenario) const
+      PF_REQUIRES(mu_);
+  // True once the fleet is quiet enough to freeze: no active slices and no
+  // result()-copy reservation in flight. save_state parks on this.
+  bool quiesced_for_save_locked() const PF_REQUIRES(mu_);
+  void run_slice(Scenario& scenario) PF_EXCLUDES(mu_);
+  void driver_loop() PF_EXCLUDES(mu_);
+  void note_driving_started_locked() PF_REQUIRES(mu_);
 
   SchedulerConfig config_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::vector<std::shared_ptr<Scenario>> scenarios_;  // registration order
-  std::size_t next_id_ = 0;
-  std::size_t active_slices_ = 0;
-  std::size_t parked_drivers_ = 0;  // run() drivers waiting on cv_
+  mutable util::Mutex mu_;
+  mutable util::CondVar cv_;
+  // Registration order. The vector and every Scenario field are guarded by
+  // mu_, with one protocol exception the analysis cannot express: the
+  // driver that set `in_flight` owns `session` (and only `session`) for
+  // the duration of its slice and touches it outside the lock — see
+  // run_slice / result / remove_scenario.
+  std::vector<std::shared_ptr<Scenario>> scenarios_ PF_GUARDED_BY(mu_);
+  std::size_t next_id_ PF_GUARDED_BY(mu_) = 0;
+  std::size_t active_slices_ PF_GUARDED_BY(mu_) = 0;
+  // run() drivers waiting on cv_.
+  std::size_t parked_drivers_ PF_GUARDED_BY(mu_) = 0;
   // aggregate() gate: no new slices while > 0. A counter, not a flag, so
   // concurrent aggregate() calls compose — the gate only lifts when the
   // last one finishes.
-  mutable std::size_t quiesce_count_ = 0;
+  mutable std::size_t quiesce_count_ PF_GUARDED_BY(mu_) = 0;
   // First slice/merge failure; rethrown by step()/run()/aggregate().
   // Mutable because aggregate() (const) parks a broken session it trips
   // over and rethrows pending errors a finished fleet would otherwise
   // swallow.
-  mutable std::exception_ptr first_error_;
+  mutable std::exception_ptr first_error_ PF_GUARDED_BY(mu_);
 
-  util::Timer timer_;
-  bool timer_started_ = false;
+  util::Timer timer_ PF_GUARDED_BY(mu_);
+  bool timer_started_ PF_GUARDED_BY(mu_) = false;
   // Fleet driving seconds carried across save/thaw: stats().seconds =
   // saved_seconds_ + time since this process's first slice.
-  double saved_seconds_ = 0.0;
+  double saved_seconds_ PF_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace passflow::guessing

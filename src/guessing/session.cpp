@@ -1,7 +1,18 @@
 #include "guessing/session.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <istream>
+#include <memory>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "util/serial_io.hpp"
@@ -16,6 +27,9 @@ constexpr char kEndMagic[] = "PFSESSE\n";
 namespace io = util::io;
 
 }  // namespace
+
+using util::MutexLock;
+using util::ReleasableMutexLock;
 
 AttackSession::AttackSession(GuessGenerator& generator, MatcherRef matcher,
                              SessionConfig config)
@@ -118,12 +132,20 @@ const SessionStats& AttackSession::run_until(std::size_t guess_target) {
 const SessionStats& AttackSession::run() { return run_until(config_.budget); }
 
 void AttackSession::serial_step() {
-  if (!pending_.empty()) {
+  std::shared_ptr<Chunk> chunk;
+  {
+    // Serial mode has no stage threads, so the lock is uncontended; taken
+    // so pending_ accesses stay inside the annotated protocol.
+    MutexLock lock(mu_);
+    if (!pending_.empty()) {
+      chunk = std::move(pending_.front());
+      pending_.pop_front();
+    }
+  }
+  if (chunk != nullptr) {
     // Chunk thawed from a saved pipelined run: the generator's stream is
     // already past it, and feedback delivery was waived when it was
     // produced.
-    const std::shared_ptr<Chunk> chunk = std::move(pending_.front());
-    pending_.pop_front();
     if (!chunk->has_membership) {
       matcher_->contains_batch(chunk->batch, config_.pool,
                                chunk->membership);
@@ -150,8 +172,8 @@ void AttackSession::pipelined_step() {
   emit_due_checkpoints();
   std::shared_ptr<Chunk> chunk;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return pipeline_error_ || !ready_.empty(); });
+    ReleasableMutexLock lock(mu_);
+    while (!pipeline_error_ && ready_.empty()) cv_.wait(lock);
     if (pipeline_error_) {
       lock.unlock();
       pause_pipeline();  // joins threads and rethrows the stored error
@@ -183,7 +205,7 @@ void AttackSession::pipelined_step() {
 void AttackSession::schedule_tracker_chunk(std::shared_ptr<Chunk> chunk) {
   bool spawn_drain = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tracking_.push_back(std::move(chunk));
     if (tracker_on_pool_ && !tracker_task_active_) {
       tracker_task_active_ = true;
@@ -206,7 +228,7 @@ void AttackSession::tracker_drain() {
   for (;;) {
     std::shared_ptr<Chunk> chunk;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (tracking_.empty() || pipeline_error_) {
         // Final touch of session state: after this unlock the only thing
         // left is returning, which readies the future pause_pipeline
@@ -225,7 +247,7 @@ void AttackSession::tracker_drain() {
       // *that* future, so nothing may touch session state afterwards —
       // including this cv. (Waking a consumer parked on a checkpoint
       // sync is why the notify exists at all.)
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Requeue at the front: the chunk was consumed, so its guesses are
       // owed to the tracker — a restarted pipeline re-folds it (folds are
       // set unions, so order does not matter) instead of losing it.
@@ -236,7 +258,7 @@ void AttackSession::tracker_drain() {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++tracked_chunks_;
       published_unique_ = tracker_->count();
     }
@@ -303,11 +325,11 @@ std::size_t AttackSession::synced_unique_count() {
     // Checkpoints report the unique count at an exact chunk boundary, so
     // the consumer parks until the tracker stage has folded every chunk
     // consumed so far (it can never be ahead — it is fed by the consumer).
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return pipeline_error_ ||
-             (tracking_.empty() && tracked_chunks_ == consumed_chunks_);
-    });
+    ReleasableMutexLock lock(mu_);
+    while (!pipeline_error_ &&
+           !(tracking_.empty() && tracked_chunks_ == consumed_chunks_)) {
+      cv_.wait(lock);
+    }
     if (pipeline_error_) {
       lock.unlock();
       pause_pipeline();
@@ -322,7 +344,7 @@ void AttackSession::refresh_stats() {
   stats_.produced = produced_;
   stats_.matched = matched_set_.size();
   if (pipeline_running_ && tracker_stage_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.unique = std::max(published_unique_, last_synced_unique_);
   } else {
     stats_.unique = tracker_->count();
@@ -353,37 +375,42 @@ RunResult AttackSession::result() const {
 // ---- pipeline ------------------------------------------------------------
 
 void AttackSession::start_pipeline() {
-  producer_stop_ = false;
-  tracker_stop_ = false;
-  pipeline_error_ = nullptr;
-  consumed_chunks_ = next_chunk_;
-  // A pipeline torn down by an error (pause_pipeline after a throwing
-  // tracker fold) can leave consumed-but-unfolded chunks in `tracking_`.
-  // The restarted tracker stage will fold them and bump tracked_chunks_
-  // once each, so the counter must start short by exactly that backlog —
-  // seeding it at next_chunk_ would leave tracked_chunks_ permanently
-  // ahead of consumed_chunks_ and wedge every checkpoint sync barrier.
-  tracked_chunks_ = next_chunk_ - tracking_.size();
-  generated_chunks_ = next_chunk_ + pending_.size();
-  // Thawed chunks re-enter at the head of the ready queue; the producer
-  // resumes generating after them (the generator's stream is already
-  // positioned past them).
-  ready_ = std::move(pending_);
-  pending_.clear();
-  published_unique_ = last_synced_unique_;
-  tracker_on_pool_ = tracker_stage_ && config_.pool != nullptr;
-  tracker_task_active_ = false;
-  pipeline_running_ = true;
+  bool spawn_drain = false;
+  {
+    // No stage threads exist yet, but the state below is mu_-guarded once
+    // they do — initialize it under the lock so the happens-before edge to
+    // the spawned threads is the same one the protocol relies on.
+    MutexLock lock(mu_);
+    producer_stop_ = false;
+    tracker_stop_ = false;
+    pipeline_error_ = nullptr;
+    consumed_chunks_ = next_chunk_;
+    // A pipeline torn down by an error (pause_pipeline after a throwing
+    // tracker fold) can leave consumed-but-unfolded chunks in `tracking_`.
+    // The restarted tracker stage will fold them and bump tracked_chunks_
+    // once each, so the counter must start short by exactly that backlog —
+    // seeding it at next_chunk_ would leave tracked_chunks_ permanently
+    // ahead of consumed_chunks_ and wedge every checkpoint sync barrier.
+    tracked_chunks_ = next_chunk_ - tracking_.size();
+    generated_chunks_ = next_chunk_ + pending_.size();
+    // Thawed chunks re-enter at the head of the ready queue; the producer
+    // resumes generating after them (the generator's stream is already
+    // positioned past them).
+    ready_ = std::move(pending_);
+    pending_.clear();
+    published_unique_ = last_synced_unique_;
+    tracker_on_pool_ = tracker_stage_ && config_.pool != nullptr;
+    // Re-drain the error backlog now: if the run is already at its last
+    // chunk, no schedule_tracker_chunk() will ever come along to spawn the
+    // drain, and the sync barrier would wait on `tracking_` forever.
+    tracker_task_active_ = tracker_on_pool_ && !tracking_.empty();
+    spawn_drain = tracker_task_active_;
+    pipeline_running_ = true;
+  }
   producer_thread_ = std::thread(&AttackSession::producer_loop, this);
   if (tracker_stage_ && !tracker_on_pool_) {
     tracker_thread_ = std::thread(&AttackSession::tracker_loop, this);
-  } else if (tracker_on_pool_ && !tracking_.empty()) {
-    // Re-drain the error backlog now: if the run is already at its last
-    // chunk, no schedule_tracker_chunk() will ever come along to spawn the
-    // drain, and the sync barrier would wait on `tracking_` forever. All
-    // pipeline state is in place, so the task can run immediately; no lock
-    // needed — the producer thread never touches tracker state.
-    tracker_task_active_ = true;
+  } else if (spawn_drain) {
     tracker_future_ = config_.pool->submit([this] { tracker_drain(); });
   }
 }
@@ -391,7 +418,7 @@ void AttackSession::start_pipeline() {
 void AttackSession::pause_pipeline() {
   if (!pipeline_running_) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     producer_stop_ = true;
   }
   cv_.notify_all();
@@ -405,26 +432,31 @@ void AttackSession::pause_pipeline() {
       if (tracker_future_.valid()) tracker_future_.wait();
     } else {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         tracker_stop_ = true;
       }
       cv_.notify_all();
       tracker_thread_.join();  // drains its queue before exiting
     }
   }
-  // Chunks generated but not yet consumed survive as pending work: they
-  // are either consumed on the next step() or serialized by save_state(),
-  // so no generated guess is ever lost or repeated.
-  while (!ready_.empty()) {
-    pending_.push_back(std::move(ready_.front()));
-    ready_.pop_front();
+  // Every stage thread has now been joined (or its drain future waited
+  // out), so the lock below is uncontended — held so the drain stays
+  // inside the annotated protocol.
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    // Chunks generated but not yet consumed survive as pending work: they
+    // are either consumed on the next step() or serialized by
+    // save_state(), so no generated guess is ever lost or repeated.
+    while (!ready_.empty()) {
+      pending_.push_back(std::move(ready_.front()));
+      ready_.pop_front();
+    }
+    error = pipeline_error_;
+    pipeline_error_ = nullptr;
   }
   pipeline_running_ = false;
-  if (pipeline_error_) {
-    const std::exception_ptr error = pipeline_error_;
-    pipeline_error_ = nullptr;
-    std::rethrow_exception(error);
-  }
+  if (error) std::rethrow_exception(error);
   last_synced_unique_ = tracker_->count();
 }
 
@@ -433,12 +465,11 @@ void AttackSession::producer_loop() {
     for (;;) {
       std::size_t chunk_index;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] {
-          return producer_stop_ ||
-                 generated_chunks_ <
-                     consumed_chunks_ + config_.pipeline_depth;
-        });
+        ReleasableMutexLock lock(mu_);
+        while (!producer_stop_ &&
+               generated_chunks_ >= consumed_chunks_ + config_.pipeline_depth) {
+          cv_.wait(lock);
+        }
         if (producer_stop_) return;
         chunk_index = generated_chunks_;
       }
@@ -452,14 +483,14 @@ void AttackSession::producer_loop() {
       chunk->has_membership = true;
 
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ready_.push_back(std::move(chunk));
         generated_chunks_ = chunk_index + 1;
       }
       cv_.notify_all();
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pipeline_error_ = std::current_exception();
     cv_.notify_all();
   }
@@ -470,8 +501,8 @@ void AttackSession::tracker_loop() {
   try {
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return tracker_stop_ || !tracking_.empty(); });
+        ReleasableMutexLock lock(mu_);
+        while (!tracker_stop_ && tracking_.empty()) cv_.wait(lock);
         if (tracking_.empty()) return;  // stop requested and fully drained
         chunk = std::move(tracking_.front());
         tracking_.pop_front();
@@ -479,14 +510,14 @@ void AttackSession::tracker_loop() {
       tracker_->add_batch(chunk->batch, config_.pool);
       chunk.reset();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++tracked_chunks_;
         published_unique_ = tracker_->count();
       }
       cv_.notify_all();
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Same requeue as the pool drain: the consumed chunk's guesses are
     // still owed to the tracker; a restarted pipeline re-folds it.
     if (chunk) tracking_.push_front(std::move(chunk));
@@ -502,11 +533,11 @@ bool AttackSession::merge_unique_sketch(util::CardinalitySketch& out) {
     // the chunks consumed so far, so park until the tracker stage has
     // folded all of them (it is fed by the consumer, so it can never be
     // ahead).
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return pipeline_error_ ||
-             (tracking_.empty() && tracked_chunks_ == consumed_chunks_);
-    });
+    ReleasableMutexLock lock(mu_);
+    while (!pipeline_error_ &&
+           !(tracking_.empty() && tracked_chunks_ == consumed_chunks_)) {
+      cv_.wait(lock);
+    }
     if (pipeline_error_) {
       lock.unlock();
       pause_pipeline();  // joins the stages and rethrows the stored error
@@ -560,10 +591,14 @@ void AttackSession::save_state(std::ostream& out) {
 
   tracker_->save(out);
 
-  // Chunks generated ahead of consumption when the pipeline paused. The
-  // generator's stream state (below) is already positioned past them.
-  io::write_u64(out, pending_.size());
-  for (const auto& chunk : pending_) io::write_string_vec(out, chunk->batch);
+  {
+    // Chunks generated ahead of consumption when the pipeline paused. The
+    // generator's stream state (below) is already positioned past them.
+    // The pipeline was paused above, so the lock is uncontended.
+    MutexLock lock(mu_);
+    io::write_u64(out, pending_.size());
+    for (const auto& chunk : pending_) io::write_string_vec(out, chunk->batch);
+  }
 
   generator_->save_state(out);
   out.write(kEndMagic, sizeof(kEndMagic) - 1);
@@ -647,11 +682,16 @@ void AttackSession::load_state_impl(std::istream& in) {
   last_synced_unique_ = tracker_->count();
 
   const std::uint64_t pending_count = io::read_u64(in);
-  pending_.clear();
-  for (std::uint64_t i = 0; i < pending_count; ++i) {
-    auto chunk = std::make_shared<Chunk>();
-    chunk->batch = io::read_string_vec(in);
-    pending_.push_back(std::move(chunk));
+  {
+    // load_state runs before the first step(), so no pipeline exists; the
+    // lock keeps pending_ inside the annotated protocol.
+    MutexLock lock(mu_);
+    pending_.clear();
+    for (std::uint64_t i = 0; i < pending_count; ++i) {
+      auto chunk = std::make_shared<Chunk>();
+      chunk->batch = io::read_string_vec(in);
+      pending_.push_back(std::move(chunk));
+    }
   }
 
   generator_->load_state(in);

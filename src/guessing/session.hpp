@@ -34,22 +34,23 @@
 // and delivers on_match() exactly like the seed loop.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <future>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "guessing/generator.hpp"
 #include "guessing/matcher.hpp"
 #include "guessing/metrics.hpp"
 #include "guessing/unique_tracker.hpp"
+#include "util/annotated_sync.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -208,6 +209,9 @@ class AttackSession {
   std::size_t checkpoint_index_ = 0;
 
   std::unique_ptr<UniqueTracker> tracker_;
+  // Consumer-thread-only: refreshed at checkpoint syncs and pipeline
+  // teardown, both of which run on the consuming thread after the stage
+  // threads have drained — mu_ never guards it.
   std::size_t last_synced_unique_ = 0;
   std::unordered_set<std::string> matched_set_;
   std::unordered_set<std::string> non_matched_seen_;
@@ -225,33 +229,45 @@ class AttackSession {
   std::vector<char> membership_;
 
   // ---- pipeline state (guarded by mu_ unless noted) ----
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Chunk>> ready_;     // producer -> consumer
-  std::deque<std::shared_ptr<Chunk>> tracking_;  // consumer -> tracker
-  std::deque<std::shared_ptr<Chunk>> pending_;   // thawed / paused chunks
-  std::size_t generated_chunks_ = 0;  // producer cursor into schedule_
+  util::Mutex mu_;
+  util::CondVar cv_;
+  // producer -> consumer
+  std::deque<std::shared_ptr<Chunk>> ready_ PF_GUARDED_BY(mu_);
+  // consumer -> tracker
+  std::deque<std::shared_ptr<Chunk>> tracking_ PF_GUARDED_BY(mu_);
+  // thawed / paused chunks
+  std::deque<std::shared_ptr<Chunk>> pending_ PF_GUARDED_BY(mu_);
+  // producer cursor into schedule_
+  std::size_t generated_chunks_ PF_GUARDED_BY(mu_) = 0;
   // Checkpoint syncs barrier on `tracking_.empty() && tracked_chunks_ ==
   // consumed_chunks_`. Both counters are re-seeded from next_chunk_ on
   // every pipeline (re)start; an error teardown can leave consumed-but-
   // unfolded chunks in `tracking_` (the erroring chunk is requeued, never
   // dropped), so the restart seeds tracked_chunks_ short by that backlog
   // and re-spawns the drain — otherwise the barrier could never close.
-  std::size_t consumed_chunks_ = 0;
-  std::size_t tracked_chunks_ = 0;
-  std::size_t published_unique_ = 0;
-  bool producer_stop_ = false;
-  bool tracker_stop_ = false;
+  std::size_t consumed_chunks_ PF_GUARDED_BY(mu_) = 0;
+  std::size_t tracked_chunks_ PF_GUARDED_BY(mu_) = 0;
+  std::size_t published_unique_ PF_GUARDED_BY(mu_) = 0;
+  bool producer_stop_ PF_GUARDED_BY(mu_) = false;
+  bool tracker_stop_ PF_GUARDED_BY(mu_) = false;
+  // Consumer-thread-only: flipped by start_pipeline/pause_pipeline, which
+  // only run on the consuming thread while no stage thread exists — a
+  // protocol mu_ cannot express, so it stays unannotated (see
+  // annotated_sync.hpp usage rules).
   bool pipeline_running_ = false;
   // With a pool configured the tracker stage runs as at most one in-flight
   // submit() task draining `tracking_` FIFO (a serial executor on shared
   // workers); without one it falls back to the dedicated tracker thread.
+  // Consumer-thread-only, set before any stage thread starts.
   bool tracker_on_pool_ = false;
-  bool tracker_task_active_ = false;
-  std::exception_ptr pipeline_error_;
+  bool tracker_task_active_ PF_GUARDED_BY(mu_) = false;
+  std::exception_ptr pipeline_error_ PF_GUARDED_BY(mu_);
   std::thread producer_thread_;
   std::thread tracker_thread_;
-  std::future<void> tracker_future_;  // latest pool drain task
+  // Latest pool drain task. Consumer-thread-only: written while
+  // tracker_task_active_ hands off drain ownership (see
+  // schedule_tracker_chunk), read only by pause_pipeline.
+  std::future<void> tracker_future_;
 };
 
 }  // namespace passflow::guessing

@@ -1,7 +1,12 @@
 #include "guessing/static_sampler.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <istream>
 #include <iterator>
+#include <ostream>
+#include <string>
+#include <vector>
 
 namespace passflow::guessing {
 

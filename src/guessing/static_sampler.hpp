@@ -2,6 +2,12 @@
 // decode. Optionally applies data-space Gaussian Smoothing.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
 #include "data/encoder.hpp"
 #include "flow/flow_model.hpp"
 #include "guessing/gaussian_smoothing.hpp"

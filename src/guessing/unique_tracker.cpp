@@ -1,6 +1,13 @@
 #include "guessing/unique_tracker.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/cardinality_sketch.hpp"
 #include "util/flat_string_set.hpp"

@@ -1,6 +1,8 @@
 // Elementwise activations with cached-input backward passes.
 #pragma once
 
+#include <vector>
+
 #include "nn/module.hpp"
 
 namespace passflow::nn {

@@ -1,6 +1,9 @@
 #include "nn/adam.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "nn/ops.hpp"
 

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 namespace passflow::nn::gemm {
@@ -318,6 +319,9 @@ Backend sanitize(Backend be) {
 }
 
 Backend initial_backend() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): getenv only races with setenv;
+  // nothing in the library mutates the environment, and this runs once from
+  // the backend atomic's static initializer.
   if (const char* env = std::getenv("PASSFLOW_GEMM_BACKEND")) {
     const std::string name(env);
     if (name != "naive" && name != "blocked" && name != "blas") {

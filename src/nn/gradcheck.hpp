@@ -2,7 +2,9 @@
 // every manually derived backward pass (layers, couplings, full-flow NLL).
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "nn/module.hpp"
 

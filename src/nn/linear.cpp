@@ -1,6 +1,9 @@
 #include "nn/linear.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "nn/ops.hpp"
 

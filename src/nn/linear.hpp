@@ -1,6 +1,10 @@
 // Fully connected layer: y = x W + b, with He/Xavier initialization.
 #pragma once
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 

@@ -1,6 +1,10 @@
 #include "nn/mlp.hpp"
 
+#include <cstddef>
+#include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "nn/ops.hpp"
 

@@ -1,7 +1,9 @@
 // Sequential MLP container plus the two-headed ResNet used by couplings.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/activation.hpp"

@@ -9,7 +9,9 @@
 // paths (sampling) use the *_inference entry points, which skip caching.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/matrix.hpp"

@@ -1,5 +1,9 @@
 #include "nn/residual.hpp"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "nn/ops.hpp"
 
 namespace passflow::nn {

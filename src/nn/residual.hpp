@@ -4,7 +4,9 @@
 // layers (§IV-D: "2 residual blocks with a hidden size of 256").
 #pragma once
 
-#include <memory>
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "nn/activation.hpp"
 #include "nn/linear.hpp"

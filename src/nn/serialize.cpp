@@ -1,10 +1,13 @@
 #include "nn/serialize.hpp"
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace passflow::nn {
 

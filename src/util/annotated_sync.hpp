@@ -1,0 +1,199 @@
+// Capability-annotated synchronization primitives: the lock protocol as a
+// compile-time contract.
+//
+// Every mutex in this codebase guards a specific set of members, and every
+// `*_locked()` helper assumes its caller holds a specific lock — but until
+// this header, those protocols lived in naming conventions and comments,
+// checked only dynamically (TSan on the interleavings the tests happen to
+// hit). Clang's Thread Safety Analysis turns them into compile errors:
+// declare a mutex as a *capability*, tag the data it protects with
+// PF_GUARDED_BY, tag helpers with PF_REQUIRES, and `clang++ -Wthread-safety`
+// rejects any access that cannot prove it holds the right lock — on every
+// interleaving, including the ones no test ever runs.
+//
+// Usage rules (enforced for new code; see README "Static analysis &
+// concurrency contracts"):
+//
+//   - Use util::Mutex / util::CondVar, never raw std::mutex /
+//     std::condition_variable. The wrappers carry the capability
+//     attributes; the raw types are invisible to the analysis.
+//   - Every member whose access protocol is "hold the mutex" gets
+//     PF_GUARDED_BY(mu_). Members protected by some other protocol (a
+//     single-owner thread, a quiesce barrier) get a comment instead — do
+//     not annotate what the analysis cannot express, it would force
+//     spurious locking.
+//   - Private helpers that assume the lock is held are named `*_locked()`
+//     and annotated PF_REQUIRES(mu_). The annotation is the contract; the
+//     suffix keeps call sites readable.
+//   - Condition-variable predicates must be written as explicit wait loops
+//     (`while (!cond) cv_.wait(lock);`), not lambda predicates: the
+//     analysis checks lambda bodies as separate functions that do not hold
+//     the caller's locks, so a guarded read inside a predicate lambda is a
+//     false positive. The explicit loop keeps the reads in the annotated
+//     scope.
+//
+// Off Clang (GCC, MSVC) every macro expands to nothing and the wrappers
+// compile down to the std types they hold: zero behavior or codegen change,
+// asserted by the unchanged TSan/ASan CI jobs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes thread-safety attributes through __has_attribute; the
+// `capability` spelling (over the legacy `lockable`) matches what
+// -Wthread-safety-beta expects. GCC defines __has_attribute too but not
+// these attributes, so the probe alone is the full gate.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PF_THREAD_ANNOTATION
+#define PF_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// A type that represents a capability (a lock). Instances can be named in
+// the argument of the macros below.
+#define PF_CAPABILITY(x) PF_THREAD_ANNOTATION(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor (MutexLock / ReleasableMutexLock below).
+#define PF_SCOPED_CAPABILITY PF_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reading or writing requires holding the named capability.
+#define PF_GUARDED_BY(x) PF_THREAD_ANNOTATION(guarded_by(x))
+// Pointer members: the pointed-to data (not the pointer) is guarded.
+#define PF_PT_GUARDED_BY(x) PF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: the caller must hold the capability (it is neither acquired
+// nor released by the call). This is the `*_locked()` helper contract.
+#define PF_REQUIRES(...) \
+  PF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PF_REQUIRES_SHARED(...) \
+  PF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Functions: the capability is acquired on entry / released on exit.
+#define PF_ACQUIRE(...) PF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PF_RELEASE(...) PF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PF_TRY_ACQUIRE(...) \
+  PF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Functions: the caller must NOT hold the capability (deadlock guard for
+// public methods that lock internally).
+#define PF_EXCLUDES(...) PF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; tells the analysis so
+// along paths where it cannot prove it (e.g. a protocol guarantee like the
+// scheduler's quiesce gate).
+#define PF_ASSERT_CAPABILITY(x) PF_THREAD_ANNOTATION(assert_capability(x))
+
+// Functions returning a reference to a capability-guarded structure.
+#define PF_RETURN_CAPABILITY(x) PF_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use carries a
+// comment explaining which protocol (not expressible to the analysis)
+// makes the function safe.
+#define PF_NO_THREAD_SAFETY_ANALYSIS \
+  PF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace passflow::util {
+
+class CondVar;
+
+// std::mutex with the capability attribute. Prefer the scoped lock types
+// below; lock()/unlock() exist for protocols that genuinely hand a held
+// lock across scopes (e.g. ThreadPool::run_one_task_locked releasing
+// around a task body), and the analysis checks those too.
+class PF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PF_ACQUIRE() { mu_.lock(); }
+  void unlock() PF_RELEASE() { mu_.unlock(); }
+  bool try_lock() PF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Runtime no-op that tells the analysis this thread holds the mutex.
+  // For protocol-guaranteed paths the analysis cannot follow; use
+  // sparingly and document the guarantee at the call site.
+  void assert_held() const PF_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  friend class ReleasableMutexLock;
+  std::mutex mu_;
+};
+
+// std::lock_guard equivalent: acquires for exactly one scope, no manual
+// release. The default for plain critical sections.
+class PF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PF_ACQUIRE(mu) : guard_(mu.mu_) {}
+  ~MutexLock() PF_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> guard_;
+};
+
+// std::unique_lock equivalent: scoped acquisition with mid-scope
+// unlock()/lock() (checked by the analysis as release/reacquire) and
+// CondVar waits. Use when a critical section must open a window (copy a
+// result outside the lock, notify after unlocking) or park on a CondVar.
+class PF_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) PF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~ReleasableMutexLock() PF_RELEASE() = default;
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+  void unlock() PF_RELEASE() { lock_.unlock(); }
+  void lock() PF_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// std::condition_variable over the annotated Mutex. Waits take a
+// ReleasableMutexLock; from the analysis's view the capability stays held
+// across a wait (the internal release/reacquire is atomic with respect to
+// the protocol — the predicate is always re-checked under the lock, which
+// is exactly the guarantee the analysis assumes). No predicate overloads
+// on purpose: write explicit wait loops (see header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(ReleasableMutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      ReleasableMutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(ReleasableMutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace passflow::util

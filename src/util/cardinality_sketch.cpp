@@ -1,6 +1,10 @@
 #include "util/cardinality_sketch.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "util/serial_io.hpp"

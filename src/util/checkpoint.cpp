@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "util/serial_io.hpp"

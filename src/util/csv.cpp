@@ -1,8 +1,10 @@
 #include "util/csv.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace passflow::util {
 

@@ -1,6 +1,8 @@
 #include "util/flags.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace passflow::util {
 

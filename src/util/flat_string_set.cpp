@@ -1,7 +1,10 @@
 #include "util/flat_string_set.hpp"
 
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace passflow::util {
 

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <string>
+
+#include "util/annotated_sync.hpp"
 
 namespace passflow::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes whole log lines onto stderr (interleaved fprintf would shred
+// concurrent messages). Nothing is guarded by it — stderr is the resource.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,7 +37,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

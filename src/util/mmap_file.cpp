@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #if defined(_WIN32)
@@ -24,6 +25,9 @@ namespace passflow::util {
 namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): strerror's static buffer is only
+  // racy against other strerror calls; this is a throw on a cold error path
+  // and the message is copied into the exception immediately.
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
 }
 

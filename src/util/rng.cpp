@@ -2,7 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/serial_io.hpp"
 

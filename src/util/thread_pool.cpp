@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -22,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -31,10 +35,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
-  // notify_one is enough: every waiter's predicate — worker or parked
+  // notify_one is enough: every waiter's wake condition — worker or parked
   // helper — is satisfied by a non-empty queue, so whichever thread wakes
   // runs the task.
   cv_.notify_one();
@@ -51,8 +55,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      ReleasableMutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -60,25 +64,24 @@ void ThreadPool::worker_loop() {
     task();
     // Whatever state the task completed (a future became ready, a
     // parallel_chunks counter hit zero) was written before this fence, so
-    // a helper that checked its predicate under the mutex cannot miss it.
-    // Broadcast only when a helper is actually parked: a helper that has
-    // not parked yet will see the completed state in its own predicate
-    // check, and a fine-grained parallel_for shouldn't pay a broadcast
-    // per item.
+    // a helper that checked its wake condition under the mutex cannot miss
+    // it. Broadcast only when a helper is actually parked: a helper that
+    // has not parked yet will see the completed state in its own re-check,
+    // and a fine-grained parallel_for shouldn't pay a broadcast per item.
     bool notify;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       notify = waiting_helpers_ > 0;
     }
     if (notify) cv_.notify_all();
   }
 }
 
-bool ThreadPool::run_one_task(std::unique_lock<std::mutex>& lock) {
+bool ThreadPool::run_one_task_locked() {
   if (tasks_.empty()) return false;
   std::function<void()> task = std::move(tasks_.front());
   tasks_.pop();
-  lock.unlock();
+  mutex_.unlock();
 #ifdef _OPENMP
   // Helping executes pool tasks on the *caller's* thread; pin OpenMP for
   // the duration so a helped GEMM body cannot fan out under the pool.
@@ -89,8 +92,8 @@ bool ThreadPool::run_one_task(std::unique_lock<std::mutex>& lock) {
 #ifdef _OPENMP
   omp_set_num_threads(saved_omp_threads);
 #endif
-  lock.lock();
-  // The task may have completed a parked helper's wait predicate.
+  mutex_.lock();
+  // The task may have completed a parked helper's wait condition.
   if (waiting_helpers_ > 0) cv_.notify_all();
   return true;
 }
@@ -104,7 +107,7 @@ void ThreadPool::parallel_chunks(
 
   std::atomic<std::size_t> remaining{chunks};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per_chunk;
@@ -113,7 +116,7 @@ void ThreadPool::parallel_chunks(
       try {
         fn(c, begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       remaining.fetch_sub(1);
@@ -125,12 +128,11 @@ void ThreadPool::parallel_chunks(
   // This is what makes nested parallelism safe — a pool task that calls
   // parallel_chunks lends its worker back instead of blocking it.
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    ReleasableMutexLock lock(mutex_);
     while (remaining.load() != 0) {
-      if (!run_one_task(lock)) {
+      if (!run_one_task_locked()) {
         ++waiting_helpers_;
-        cv_.wait(lock,
-                 [&] { return remaining.load() == 0 || !tasks_.empty(); });
+        if (remaining.load() != 0 && tasks_.empty()) cv_.wait(lock);
         --waiting_helpers_;
       }
     }

@@ -10,20 +10,25 @@
 // futures pops and runs queued tasks instead of sleeping, so tasks may
 // freely call back into the pool (nested parallel_for, submit from inside a
 // task) without deadlocking even when every worker is busy.
+//
+// The lock protocol (one mutex_ guarding the queue and the helper/stop
+// bookkeeping) is machine-checked: members carry PF_GUARDED_BY(mutex_) and
+// the *_locked helper carries PF_REQUIRES(mutex_), so `clang++
+// -Wthread-safety` rejects any unlocked access at compile time.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/annotated_sync.hpp"
 
 namespace passflow::util {
 
@@ -47,7 +52,8 @@ class ThreadPool {
   // wants per-thread scratch state (e.g. one RNG per chunk).
   void parallel_chunks(
       std::size_t count,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+      PF_EXCLUDES(mutex_);
 
   // Schedules one task and returns a future for its result. Exceptions
   // land in the future. Tasks run with OpenMP pinned to one thread (like
@@ -68,19 +74,17 @@ class ThreadPool {
   // (safe to call from inside a pool task), then get()s each in order so
   // the first stored exception propagates.
   template <typename T>
-  void wait_all(std::vector<std::future<T>>& futures) {
+  void wait_all(std::vector<std::future<T>>& futures) PF_EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      ReleasableMutexLock lock(mutex_);
       for (auto& future : futures) {
         while (future.wait_for(std::chrono::seconds(0)) !=
                std::future_status::ready) {
-          if (!run_one_task(lock)) {
+          if (!run_one_task_locked()) {
+            // Park until a task is queued or a completion broadcast lands;
+            // the loop re-checks the future under the lock either way.
             ++waiting_helpers_;
-            cv_.wait(lock, [&] {
-              return !tasks_.empty() ||
-                     future.wait_for(std::chrono::seconds(0)) ==
-                         std::future_status::ready;
-            });
+            cv_.wait(lock);
             --waiting_helpers_;
           }
         }
@@ -90,23 +94,26 @@ class ThreadPool {
   }
 
  private:
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) PF_EXCLUDES(mutex_);
   void worker_loop();
-  // Pops and runs one queued task, releasing `lock` around the call.
-  // Returns false (without running anything) when the queue is empty.
-  bool run_one_task(std::unique_lock<std::mutex>& lock);
+  // Pops and runs one queued task, releasing mutex_ around the call (and
+  // reacquiring before returning, on every path — the analysis checks
+  // this). Returns false (without running anything) when the queue is
+  // empty.
+  bool run_one_task_locked() PF_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ PF_GUARDED_BY(mutex_);
   // One condition variable for everything: workers waiting for tasks,
   // helpers waiting for "task available or my work finished". Task
   // completions notify it — but only while a helper is parked
   // (waiting_helpers_ > 0), so fine-grained workloads don't pay a
   // broadcast per task when nobody is listening for completions.
-  std::condition_variable cv_;
-  std::size_t waiting_helpers_ = 0;  // parked in a helping wait, under mutex_
-  bool stop_ = false;
+  CondVar cv_;
+  // Helpers currently parked in a helping wait.
+  std::size_t waiting_helpers_ PF_GUARDED_BY(mutex_) = 0;
+  bool stop_ PF_GUARDED_BY(mutex_) = false;
 };
 
 // Lazily constructed process-wide pool sized to hardware_concurrency.

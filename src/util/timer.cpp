@@ -1,6 +1,7 @@
 #include "util/timer.hpp"
 
 #include <cstdio>
+#include <string>
 
 namespace passflow::util {
 

@@ -6,9 +6,12 @@
 // must equal the sketch of the union of all streams exactly.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "guessing/scheduler.hpp"
@@ -291,6 +294,79 @@ TEST(SchedulerParallel, ConcurrentAggregatesComposeUnderChurn) {
   EXPECT_EQ(scheduler.aggregate().produced, 2u * 40000u + 20000u);
   PF_EXPECT_SAME_RUN(expected_run(matcher, 1 << 12, 20000, 500),
                      scheduler.result(late_id));
+}
+
+// aggregate() and save_state() hammered from different threads while the
+// drivers run: both quiesce through the same counter gate, and save_state
+// additionally parks on the result()-copy reservation
+// (quiesced_for_save_locked, whose mu_.assert_held() makes the capability
+// part of the quiesce path itself). The gates must compose — no deadlock,
+// no torn snapshot — and every mid-run freeze must thaw into a fleet that
+// finishes bitwise-equal to a never-interrupted run.
+TEST(SchedulerParallel, ConcurrentAggregateAndSaveStateCompose) {
+  const auto targets = mixing_targets();
+  HashSetMatcher matcher(targets);
+  util::ThreadPool pool(2);
+
+  SchedulerConfig fleet;
+  fleet.pool = &pool;
+  fleet.slice_chunks = 1;
+  fleet.max_concurrent = 2;
+  AttackScheduler scheduler(fleet);
+
+  const std::size_t periods[] = {1 << 14, 1 << 13};
+  MixingGenerator a(periods[0]), b(periods[1]);
+  ScenarioOptions options;
+  options.session = chunked_config(40000, 500);
+  options.session.pipeline_depth = 2;
+  std::vector<std::size_t> ids;
+  ids.push_back(scheduler.add_scenario(a, matcher, options));
+  ids.push_back(scheduler.add_scenario(b, matcher, options));
+
+  std::thread runner([&] { scheduler.run(); });
+
+  std::thread aggregator([&] {
+    std::size_t last_produced = 0;
+    for (int i = 0; i < 15; ++i) {
+      const SchedulerStats stats = scheduler.aggregate();
+      EXPECT_GE(stats.produced, last_produced);
+      last_produced = stats.produced;
+    }
+  });
+
+  // Freeze repeatedly from this thread while the aggregator and drivers
+  // are live; keep the last snapshot for the thaw check below.
+  std::stringstream snapshot;
+  for (int i = 0; i < 10; ++i) {
+    std::stringstream out;
+    scheduler.save_state(out);
+    snapshot = std::move(out);
+  }
+
+  aggregator.join();
+  runner.join();
+  scheduler.run();  // mop up anything the live run missed (no-op if none)
+  EXPECT_TRUE(scheduler.finished());
+  EXPECT_EQ(scheduler.aggregate().produced, 2u * 40000u);
+
+  // The live fleet kept running after each freeze; the snapshot itself
+  // must still be a consistent slice-boundary state.
+  std::vector<std::unique_ptr<MixingGenerator>> thawed_generators;
+  for (const std::size_t period : periods) {
+    thawed_generators.push_back(std::make_unique<MixingGenerator>(period));
+  }
+  AttackScheduler thawed(fleet);
+  thawed.load_state(
+      snapshot, [&](const AttackScheduler::ScenarioThawInfo& info)
+                    -> AttackScheduler::ScenarioBinding {
+        return {*thawed_generators.at(info.index), matcher};
+      });
+  while (thawed.step()) {
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    PF_EXPECT_SAME_RUN(expected_run(matcher, periods[i], 40000, 500),
+                       thawed.result(ids[i]));
+  }
 }
 
 }  // namespace

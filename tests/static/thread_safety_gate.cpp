@@ -1,0 +1,74 @@
+// Compile-only fixture for the clang thread-safety gate.
+//
+// Three CTest entries share this file (see CMakeLists.txt, Clang only):
+//
+//   static_tsa_clean                      — no defines; must compile under
+//                                           -Wthread-safety[-beta] -Werror.
+//                                           Pulls in the annotated headers,
+//                                           so a regression that makes them
+//                                           un-analyzable fails here first.
+//   static_tsa_rejects_unlocked_guarded   — -DPF_TSA_VIOLATE_GUARDED_BY adds
+//                                           an unlocked read of a GUARDED_BY
+//                                           member; the test asserts the
+//                                           compile FAILS (WILL_FAIL).
+//   static_tsa_rejects_requires           — -DPF_TSA_VIOLATE_REQUIRES calls a
+//                                           PF_REQUIRES helper without the
+//                                           lock; the compile must FAIL too.
+//
+// The WILL_FAIL entries are what make the gate trustworthy: a clean build
+// alone cannot distinguish "no violations" from "analysis silently off"
+// (wrong flags, macros expanding to nothing under the wrong compiler).
+#include "guessing/scheduler.hpp"
+#include "guessing/session.hpp"
+#include "util/annotated_sync.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using passflow::util::Mutex;
+using passflow::util::MutexLock;
+
+class Counter {
+ public:
+  void bump() PF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int read() PF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return read_locked();
+  }
+
+#if defined(PF_TSA_VIOLATE_GUARDED_BY)
+  // Reads a GUARDED_BY member without holding mu_: the gate must reject
+  // this translation unit.
+  int racy_read() const { return value_; }
+#endif
+
+#if defined(PF_TSA_VIOLATE_REQUIRES)
+  // Calls a PF_REQUIRES(mu_) helper without holding mu_: the gate must
+  // reject this translation unit.
+  int racy_helper() { return read_locked(); }
+#endif
+
+ private:
+  int read_locked() const PF_REQUIRES(mu_) { return value_; }
+
+  mutable Mutex mu_;
+  int value_ PF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+#if defined(PF_TSA_VIOLATE_GUARDED_BY)
+  counter.racy_read();
+#endif
+#if defined(PF_TSA_VIOLATE_REQUIRES)
+  counter.racy_helper();
+#endif
+  return counter.read();
+}
