@@ -13,6 +13,8 @@
 //                               [--checkpoint-every 30]
 //                               [--build-index targets.pfidx]
 //                               [--index targets.pfidx]
+//                               [--coordinator PORT | --worker HOST:PORT]
+//                               [--shard-splits N]
 //
 // Strategies: static | dynamic | dynamic+gs (Table II rows). --pipeline N
 // keeps N chunks in flight (feedback-free strategies only; dynamic runs
@@ -47,6 +49,19 @@
 // in-memory hash set; --index attacks through an existing index file
 // (e.g. one built offline from a multi-GB leak with IndexBuilder), so the
 // target corpus never has to fit in RAM. Metrics are identical either way.
+//
+// --coordinator PORT serves the --scenarios sweep to worker processes over
+// TCP instead of driving it in-process: each scenario — or, with
+// --shard-splits N over a disk index, each contiguous shard range of its
+// matcher — is assigned to a connected worker, session checkpoints stream
+// back over the wire, and a worker that dies mid-scenario is reassigned
+// from its last checkpoint onto a survivor. --worker HOST:PORT runs the
+// other half: it trains the same model, dials the coordinator and serves
+// assignments until Shutdown. Launch workers with the coordinator's exact
+// flags — generators are rebuilt from spec strings, so differing
+// --epochs/--train-size/--guesses would silently attack with a different
+// model. Per-scenario metrics are bitwise identical to the in-process
+// --scenarios run (timing aside); the coordinator itself never trains.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -54,10 +69,13 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "data/synthetic_rockyou.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "flow/trainer.hpp"
 #include "guessing/dynamic_sampler.hpp"
 #include "guessing/mapped_matcher.hpp"
@@ -77,6 +95,70 @@ namespace {
 // sig_atomic_t is the only state a signal handler may touch.
 volatile std::sig_atomic_t g_stop_requested = 0;
 extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+// Grammar of one --scenarios spec: static[@SIGMA] | dynamic | dynamic+gs.
+// These specs double as the distributed fleet's generator_spec wire
+// strings, so the grammar lives here once: the in-process fleet, the
+// coordinator's pre-flight validation (a typo must fail before any worker
+// sees it and dies on it) and every worker's ScenarioFactory agree by
+// construction. sigma is -1 when the spec does not carry one.
+bool validate_scenario_spec(const std::string& spec, double* sigma,
+                            std::string* error) {
+  *sigma = -1.0;
+  if (spec == "static" || spec == "dynamic" || spec == "dynamic+gs") {
+    return true;
+  }
+  if (spec.rfind("static@", 0) == 0) {
+    try {
+      *sigma = std::stod(spec.substr(7));
+      return true;
+    } catch (const std::exception&) {
+      *error = "bad sigma in scenario spec '" + spec + "'";
+      return false;
+    }
+  }
+  *error = "unknown scenario spec '" + spec + "'";
+  return false;
+}
+
+// Builds the sampler for one spec. `position` is the scenario's index in
+// the fleet — which is also its distributed scenario_id — folded into the
+// seed so identical-sigma scenarios still explore different latent draws
+// AND a worker rebuilding scenario #i gets the bit-identical generator the
+// in-process fleet would have used. That equivalence is what makes the
+// distributed metrics match the single-process run exactly.
+std::unique_ptr<pf::guessing::GuessGenerator> make_sampler(
+    const std::string& spec, std::size_t position,
+    const pf::flow::FlowModel& model, const pf::data::Encoder& encoder,
+    std::size_t guesses) {
+  double sigma = -1.0;
+  std::string error;
+  if (!validate_scenario_spec(spec, &sigma, &error)) {
+    throw std::invalid_argument(error);
+  }
+  if (spec.rfind("static", 0) == 0) {
+    pf::guessing::StaticSamplerConfig sampler_config;
+    if (sigma >= 0.0) sampler_config.sigma = sigma;
+    sampler_config.seed = 11 + position;
+    return std::make_unique<pf::guessing::StaticSampler>(model, encoder,
+                                                         sampler_config);
+  }
+  auto sampler_config = pf::guessing::table1_parameters(guesses);
+  sampler_config.smoothing.enabled = (spec == "dynamic+gs");
+  sampler_config.seed = 13 + position;
+  return std::make_unique<pf::guessing::DynamicSampler>(model, encoder,
+                                                        sampler_config);
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,7 +181,18 @@ int main(int argc, char** argv) {
       static_cast<double>(flags.get_int("checkpoint-every", 30));
   const std::string index_path = flags.get_string("index", "");
   const std::string build_index_path = flags.get_string("build-index", "");
+  const int coordinator_port = flags.get_int("coordinator", -1);
+  const std::string worker_flag = flags.get_string("worker", "");
+  const auto shard_splits =
+      static_cast<std::size_t>(flags.get_int("shard-splits", 1));
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
+
+  if (coordinator_port >= 0 && !worker_flag.empty()) {
+    std::fprintf(stderr,
+                 "--coordinator and --worker are different processes; pick "
+                 "one per invocation\n");
+    return 1;
+  }
 
   // Leak simulation: the attacker holds a subsample of one breach and
   // attacks the (disjoint, deduplicated) remainder — §IV-D's protocol.
@@ -112,6 +205,115 @@ int main(int argc, char** argv) {
       pf::data::make_rockyou_style_split(corpus, train_size, rng);
   std::printf("attacker knows %zu passwords; target set: %zu unique unseen\n",
               split.train.size(), split.test_unique.size());
+
+  pf::guessing::SessionConfig session_config;
+  session_config.budget = guesses;
+  session_config.log_progress = true;
+  session_config.chunk_size = 4096;
+  session_config.pipeline_depth = pipeline_depth;
+  session_config.unique_tracking = sketch_unique
+                                       ? pf::guessing::UniqueTracking::kSketch
+                                       : pf::guessing::UniqueTracking::kExact;
+
+  // ---- distributed coordinator: serve scenarios to worker processes ----
+  // No training here — the coordinator never builds a generator; it ships
+  // spec strings and merges results. Workers (launched with the same
+  // flags plus --worker) do the training.
+  if (coordinator_port >= 0) {
+    const auto specs = split_csv(scenarios_flag);
+    if (specs.empty()) {
+      std::fprintf(stderr, "--coordinator needs --scenarios\n");
+      return 1;
+    }
+    for (const auto& spec : specs) {
+      double sigma = -1.0;
+      std::string spec_error;
+      if (!validate_scenario_spec(spec, &sigma, &spec_error)) {
+        std::fprintf(stderr, "%s\n", spec_error.c_str());
+        return 1;
+      }
+    }
+    std::string matcher_spec = "testset";
+    std::size_t shard_count = 0;
+    try {
+      if (!build_index_path.empty()) {
+        const auto stats = pf::guessing::IndexBuilder::build(
+            split.test_unique, build_index_path);
+        std::printf("built disk index %s: %zu keys, %.1f MB in %s\n",
+                    build_index_path.c_str(), stats.keys_distinct,
+                    static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0),
+                    pf::util::format_duration(stats.seconds).c_str());
+        matcher_spec = "index:" + build_index_path;
+      } else if (!index_path.empty()) {
+        matcher_spec = "index:" + index_path;
+      }
+      if (matcher_spec.rfind("index:", 0) == 0) {
+        // Open once to learn (and sanity-check) the shard space workers
+        // will split; also catches a missing/corrupt index before any
+        // worker dials in.
+        shard_count =
+            pf::guessing::MappedMatcher(matcher_spec.substr(6)).shard_count();
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (shard_splits > 1 && matcher_spec == "testset") {
+      std::fprintf(stderr,
+                   "--shard-splits needs a disk index (--index or "
+                   "--build-index); the in-memory matcher has no shard "
+                   "space to split\n");
+      return 1;
+    }
+
+    pf::dist::CoordinatorConfig coordinator_config;
+    coordinator_config.port = static_cast<std::uint16_t>(coordinator_port);
+    pf::dist::Coordinator coordinator(coordinator_config);
+    for (const auto& spec : specs) {
+      pf::dist::DistScenario scenario;
+      scenario.name = spec;
+      scenario.generator_spec = spec;
+      scenario.matcher_spec = matcher_spec;
+      scenario.session = session_config;
+      scenario.session.log_progress = false;
+      scenario.shard_splits = shard_splits;
+      scenario.shard_count = shard_count;
+      coordinator.add_scenario(std::move(scenario));
+    }
+    std::printf(
+        "coordinator on 127.0.0.1:%u: %zu scenario(s), %zu split(s) each; "
+        "start workers with this command's flags plus --worker "
+        "127.0.0.1:%u\n",
+        coordinator.port(), specs.size(), std::max<std::size_t>(shard_splits, 1),
+        coordinator.port());
+    pf::util::Timer fleet_timer;
+    coordinator.run();
+
+    const auto stats = coordinator.stats();
+    std::printf("\n=== distributed fleet summary (%zu scenarios, %.1fs) ===\n",
+                coordinator.scenario_count(), fleet_timer.elapsed_seconds());
+    for (std::size_t id = 0; id < coordinator.scenario_count(); ++id) {
+      const auto& outcome = coordinator.outcome(id);
+      const auto& cp = outcome.result.final();
+      std::printf("  %-14s %9zu guesses: %6zu matched (%.3f%%), %zu unique\n",
+                  outcome.name.c_str(), cp.guesses, cp.matched,
+                  cp.matched_percent, cp.unique);
+      if (outcome.parts > 1 || outcome.reassignments > 0) {
+        std::printf("  %-14s   dist: %zu part(s), %zu reassignment(s)\n", "",
+                    outcome.parts, outcome.reassignments);
+      }
+    }
+    std::printf(
+        "fleet total: %zu guesses, %zu matches; %zu worker(s) served, "
+        "%zu lost\n",
+        stats.produced, stats.matched, stats.workers_registered,
+        stats.workers_lost);
+    if (stats.unique_union_valid) {
+      std::printf("fleet-wide distinct guesses (merged sketch): ~%zu\n",
+                  stats.unique_union);
+    }
+    return 0;
+  }
 
   pf::data::Encoder encoder(pf::data::Alphabet::standard(), 10);
   pf::flow::FlowConfig config;
@@ -126,6 +328,80 @@ int main(int argc, char** argv) {
   trainer.train(split.train, encoder);
   std::printf("trained in %s\n",
               pf::util::format_duration(timer.elapsed_seconds()).c_str());
+
+  // ---- distributed worker: serve assignments from a coordinator --------
+  if (!worker_flag.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    const std::size_t colon = worker_flag.rfind(':');
+    try {
+      if (colon == std::string::npos || colon == 0) {
+        throw std::invalid_argument("missing ':'");
+      }
+      host = worker_flag.substr(0, colon);
+      const int parsed = std::stoi(worker_flag.substr(colon + 1));
+      if (parsed <= 0 || parsed > 65535) throw std::out_of_range("port");
+      port = static_cast<std::uint16_t>(parsed);
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "--worker wants HOST:PORT (e.g. 127.0.0.1:7000), got "
+                   "'%s'\n",
+                   worker_flag.c_str());
+      return 1;
+    }
+
+    // The "testset" matcher spec resolves to the held-out split this
+    // process just derived — deterministic from the shared flags, so every
+    // worker (and the in-process run) probes the identical target set.
+    const auto testset_matcher =
+        std::make_shared<pf::guessing::HashSetMatcher>(split.test_unique);
+    pf::dist::WorkerConfig worker_config;
+    worker_config.host = host;
+    worker_config.port = port;
+    worker_config.label = "train_and_attack";
+    worker_config.pool = &pf::util::shared_pool();
+    pf::dist::Worker worker(
+        worker_config,
+        [&](const pf::dist::AssignedScenario& assigned) {
+          pf::dist::WorkerBinding binding;
+          binding.generator =
+              make_sampler(assigned.generator_spec, assigned.scenario_id,
+                           model, encoder, guesses);
+          if (assigned.matcher_spec == "testset") {
+            if (assigned.shard_end != 0) {
+              throw std::runtime_error(
+                  "testset matcher has no shard ranges to split");
+            }
+            binding.matcher = testset_matcher;
+          } else if (assigned.matcher_spec.rfind("index:", 0) == 0) {
+            const std::string path = assigned.matcher_spec.substr(6);
+            binding.matcher =
+                assigned.shard_end != 0
+                    ? std::make_shared<pf::guessing::MappedMatcher>(
+                          path, static_cast<std::size_t>(assigned.shard_begin),
+                          static_cast<std::size_t>(assigned.shard_end))
+                    : std::make_shared<pf::guessing::MappedMatcher>(path);
+          } else {
+            throw std::runtime_error("unknown matcher spec '" +
+                                     assigned.matcher_spec + "'");
+          }
+          return binding;
+        });
+    std::printf("worker serving %s:%u\n", host.c_str(), port);
+    try {
+      worker.run();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    const auto& worker_stats = worker.stats();
+    std::printf(
+        "worker done: %zu assignment(s), %zu result(s), %zu checkpoint(s) "
+        "shipped, %zu reconnect(s)\n",
+        worker_stats.assignments, worker_stats.results_sent,
+        worker_stats.checkpoints_sent, worker_stats.reconnects);
+    return 0;
+  }
 
   // The membership oracle the attack probes: in-memory by default, or an
   // mmap-paged disk index when --index/--build-index asks for one.
@@ -157,48 +433,17 @@ int main(int argc, char** argv) {
     matcher = std::make_shared<pf::guessing::HashSetMatcher>(
         split.test_unique);
   }
-  pf::guessing::SessionConfig session_config;
-  session_config.budget = guesses;
-  session_config.log_progress = true;
-  session_config.chunk_size = 4096;
-  session_config.pipeline_depth = pipeline_depth;
-  session_config.unique_tracking = sketch_unique
-                                       ? pf::guessing::UniqueTracking::kSketch
-                                       : pf::guessing::UniqueTracking::kExact;
 
   // ---- fleet mode: a concurrent sweep over one shared matcher ----------
   if (!scenarios_flag.empty()) {
     std::vector<std::unique_ptr<pf::guessing::GuessGenerator>> samplers;
     std::vector<std::string> labels;
-    std::stringstream specs(scenarios_flag);
-    std::string spec;
-    while (std::getline(specs, spec, ',')) {
-      if (spec.empty()) continue;
-      if (spec.rfind("static", 0) == 0) {
-        pf::guessing::StaticSamplerConfig sampler_config;
-        const std::size_t at = spec.find('@');
-        if (at != std::string::npos) {
-          try {
-            sampler_config.sigma = std::stod(spec.substr(at + 1));
-          } catch (const std::exception&) {
-            std::fprintf(stderr, "bad sigma in scenario spec '%s'\n",
-                         spec.c_str());
-            return 1;
-          }
-        }
-        // Distinct seeds so identical-sigma scenarios still explore
-        // different latent draws.
-        sampler_config.seed = 11 + samplers.size();
-        samplers.push_back(std::make_unique<pf::guessing::StaticSampler>(
-            model, encoder, sampler_config));
-      } else if (spec == "dynamic" || spec == "dynamic+gs") {
-        auto sampler_config = pf::guessing::table1_parameters(guesses);
-        sampler_config.smoothing.enabled = (spec == "dynamic+gs");
-        sampler_config.seed = 13 + samplers.size();
-        samplers.push_back(std::make_unique<pf::guessing::DynamicSampler>(
-            model, encoder, sampler_config));
-      } else {
-        std::fprintf(stderr, "unknown scenario spec '%s'\n", spec.c_str());
+    for (const auto& spec : split_csv(scenarios_flag)) {
+      try {
+        samplers.push_back(
+            make_sampler(spec, samplers.size(), model, encoder, guesses));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 1;
       }
       labels.push_back(spec);

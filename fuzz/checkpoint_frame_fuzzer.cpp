@@ -1,17 +1,26 @@
-// Fuzz target: CheckpointStore::read_frame_file — the CRC-framed
-// checkpoint loader that every crash recovery path trusts with
-// arbitrarily torn or corrupt on-disk bytes.
+// Fuzz target: the CRC-framed checkpoint codec — both of its entry
+// points. CheckpointStore::read_frame_file is the on-disk loader every
+// crash recovery path trusts with arbitrarily torn or corrupt bytes;
+// CheckpointStore::read_frame(std::istream&) is the same validator
+// factored out for the distributed transport, which feeds it raw socket
+// bytes. Both must uphold the same contract.
 //
 // Contract under test: any input either parses to a payload or is
 // rejected with std::runtime_error naming the defect. Anything else — a
 // crash, a sanitizer report, an unexpected exception type escaping to
-// std::terminate — is a finding.
+// std::terminate — is a finding. The two callers must also agree: a
+// frame the file path accepts, the stream path must accept with the
+// identical payload (the file path only adds a no-trailing-bytes check,
+// so stream-accept/file-reject is legal, never the reverse).
 //
 // Seed corpus: tests/fixtures/state/ (one intact frame plus the
 // truncated/bad-magic/wrong-version/config-mismatch fixtures the
-// crash-recovery tests already use).
+// crash-recovery tests already use) — valid for both callers by
+// construction, since both consume the identical frame layout.
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -20,14 +29,31 @@
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
+  using passflow::util::CheckpointStore;
+
+  bool stream_ok = false;
+  std::string stream_payload;
+  {
+    std::istringstream in(
+        std::string(reinterpret_cast<const char*>(data), size));
+    try {
+      stream_payload = CheckpointStore::read_frame(in);
+      stream_ok = true;
+    } catch (const std::runtime_error&) {
+      // Rejected corrupt frame: the documented (and desired) outcome.
+    }
+  }
+
   const std::string& path =
       passflow::fuzz::write_input("frame", data, size);
   try {
-    const std::string payload =
-        passflow::util::CheckpointStore::read_frame_file(path);
-    (void)payload;
+    const std::string payload = CheckpointStore::read_frame_file(path);
+    // File accepted => the stream reader must have accepted the same
+    // bytes and produced the same payload.
+    if (!stream_ok || payload != stream_payload) std::abort();
   } catch (const std::runtime_error&) {
-    // Rejected corrupt frame: the documented (and desired) outcome.
+    // Rejected corrupt frame: fine for the file path even when the
+    // stream path accepted (trailing bytes after a valid frame).
   }
   return 0;
 }

@@ -1,0 +1,56 @@
+// Exponential retry/backoff policy for worker (re)connects.
+//
+// A worker that loses its coordinator — process restart, transient
+// listen-queue overflow, torn frame forcing a clean reconnect — retries
+// with exponentially growing delays up to a cap, and gives up after a
+// bounded number of attempts so a dead coordinator turns into a loud
+// error instead of an infinite silent loop. Deterministic (no jitter):
+// test runs are reproducible, and the handful of localhost workers this
+// targets cannot produce a thundering herd worth randomizing.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace passflow::dist {
+
+struct BackoffPolicy {
+  double initial_delay_seconds = 0.02;
+  double multiplier = 2.0;
+  double max_delay_seconds = 1.0;
+  // Connect attempts before giving up; >= 1. 10 doubling steps from 20 ms
+  // span ~10 s of coordinator downtime.
+  std::size_t max_attempts = 10;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}) : policy_(policy) {}
+
+  // True once max_attempts delays have been handed out.
+  bool exhausted() const { return attempts_ >= policy_.max_attempts; }
+
+  // Delay to sleep before the next attempt; grows per call.
+  double next_delay_seconds() {
+    ++attempts_;
+    const double delay = delay_;
+    delay_ = std::min(delay_ * policy_.multiplier,
+                      policy_.max_delay_seconds);
+    return std::min(delay, policy_.max_delay_seconds);
+  }
+
+  // A successful connect resets the schedule for the next outage.
+  void reset() {
+    attempts_ = 0;
+    delay_ = policy_.initial_delay_seconds;
+  }
+
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  std::size_t attempts_ = 0;
+  double delay_ = policy_.initial_delay_seconds;
+};
+
+}  // namespace passflow::dist

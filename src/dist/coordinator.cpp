@@ -1,0 +1,487 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "dist/framing.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace passflow::dist {
+
+// One assignable unit: a whole scenario or one shard range of it.
+struct Coordinator::Task {
+  enum class State { kPending, kAssigned, kDone };
+
+  std::uint64_t task_id = 0;
+  std::size_t scenario_index = 0;
+  std::size_t part_index = 0;
+  guessing::ShardRange range{0, 0};  // 0,0 = whole matcher
+  State state = State::kPending;
+  std::uint64_t worker_id = 0;  // valid while kAssigned
+  // Latest session freeze received; what a reassignment resumes from.
+  std::string checkpoint;
+  std::size_t checkpoints_received = 0;
+  std::size_t reassignments = 0;
+  ResultMsg result;
+};
+
+struct Coordinator::WorkerState {
+  std::uint64_t id = 0;
+  Connection connection;
+  bool registered = false;
+  bool dead = false;
+  std::uint64_t pid = 0;
+  std::string label;
+  std::size_t active_tasks = 0;
+  util::Timer last_seen;
+
+  WorkerState(std::uint64_t worker_id, Connection accepted)
+      : id(worker_id), connection(std::move(accepted)) {}
+};
+
+struct Coordinator::ScenarioState {
+  DistScenario spec;
+  std::vector<std::uint64_t> task_ids;  // part order
+  std::size_t done_parts = 0;
+  ScenarioOutcome outcome;
+};
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(config), listener_(config.port) {}
+
+Coordinator::~Coordinator() = default;
+
+std::uint16_t Coordinator::port() const { return listener_.port(); }
+
+std::size_t Coordinator::add_scenario(DistScenario scenario) {
+  if (shutdown_sent_) {
+    throw std::logic_error(
+        "Coordinator::add_scenario: fleet already finished");
+  }
+  if (scenario.shard_splits == 0) {
+    throw std::invalid_argument(
+        "Coordinator::add_scenario: shard_splits must be >= 1");
+  }
+  auto state = std::make_unique<ScenarioState>();
+  state->spec = std::move(scenario);
+  const std::size_t scenario_index = scenarios_.size();
+
+  std::vector<guessing::ShardRange> ranges;
+  if (state->spec.shard_splits > 1) {
+    if (state->spec.shard_count == 0) {
+      throw std::invalid_argument(
+          "Coordinator::add_scenario: shard_count required for splits");
+    }
+    ranges = guessing::split_shard_ranges(state->spec.shard_count,
+                                          state->spec.shard_splits);
+  } else {
+    ranges.push_back({0, 0});
+  }
+  for (std::size_t part = 0; part < ranges.size(); ++part) {
+    auto task = std::make_unique<Task>();
+    task->task_id = next_task_id_++;
+    task->scenario_index = scenario_index;
+    task->part_index = part;
+    task->range = ranges[part];
+    state->task_ids.push_back(task->task_id);
+    tasks_.push_back(std::move(task));
+  }
+  stats_.tasks = tasks_.size();
+  scenarios_.push_back(std::move(state));
+  return scenario_index;
+}
+
+bool Coordinator::finished() const {
+  return !tasks_.empty() && tasks_done_ == tasks_.size();
+}
+
+std::size_t Coordinator::scenario_count() const { return scenarios_.size(); }
+
+const ScenarioOutcome& Coordinator::outcome(std::size_t scenario_id) const {
+  const ScenarioState& scenario = *scenarios_.at(scenario_id);
+  if (!scenario.outcome.complete) {
+    throw std::logic_error("Coordinator::outcome: scenario \"" +
+                           scenario.spec.name + "\" is still in flight");
+  }
+  return scenario.outcome;
+}
+
+std::uint64_t Coordinator::assigned_worker_pid(std::size_t scenario_id,
+                                               std::size_t part) const {
+  const ScenarioState& scenario = *scenarios_.at(scenario_id);
+  const std::uint64_t task_id = scenario.task_ids.at(part);
+  for (const auto& task : tasks_) {
+    if (task->task_id != task_id) continue;
+    if (task->state != Task::State::kAssigned) return 0;
+    for (const auto& worker : workers_) {
+      if (worker->id == task->worker_id && !worker->dead) return worker->pid;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+std::size_t Coordinator::checkpoints_received(std::size_t scenario_id) const {
+  const ScenarioState& scenario = *scenarios_.at(scenario_id);
+  std::size_t total = 0;
+  for (const auto& task : tasks_) {
+    if (std::find(scenario.task_ids.begin(), scenario.task_ids.end(),
+                  task->task_id) != scenario.task_ids.end()) {
+      total += task->checkpoints_received;
+    }
+  }
+  return total;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats stats = stats_;
+  stats.tasks_done = tasks_done_;
+  for (const auto& worker : workers_) {
+    if (!worker->dead && worker->registered) ++stats.workers_live;
+  }
+  util::CardinalitySketch fleet_union(config_.union_precision_bits);
+  bool union_valid = !scenarios_.empty();
+  for (const auto& scenario : scenarios_) {
+    const ScenarioOutcome& outcome = scenario->outcome;
+    if (!outcome.complete) {
+      union_valid = false;
+      continue;
+    }
+    if (!outcome.result.checkpoints.empty()) {
+      stats.produced += outcome.result.final().guesses;
+      stats.matched += outcome.result.final().matched;
+    }
+    if (outcome.sketch_valid) {
+      fleet_union.merge(outcome.sketch);
+    } else {
+      union_valid = false;
+    }
+  }
+  stats.unique_union_valid = union_valid;
+  stats.unique_union = union_valid ? fleet_union.estimate() : 0;
+  return stats;
+}
+
+// ---- event loop ------------------------------------------------------------
+
+bool Coordinator::poll_once(int timeout_ms) {
+  if (finished()) return false;  // idempotent after the shutdown pump
+
+  // Sweep workers buried on a previous pump.
+  workers_.erase(std::remove_if(workers_.begin(), workers_.end(),
+                                [](const std::unique_ptr<WorkerState>& w) {
+                                  return w->dead;
+                                }),
+                 workers_.end());
+
+  assign_pending();
+
+  // Park until traffic arrives — unless bytes are already buffered past
+  // poll()'s sight, in which case drain immediately.
+  bool buffered = false;
+  for (const auto& worker : workers_) {
+    if (!worker->dead && worker->connection.has_buffered()) buffered = true;
+  }
+  if (!buffered && timeout_ms > 0) {
+    std::vector<int> fds;
+    if (listener_open_) fds.push_back(listener_.fd());
+    for (const auto& worker : workers_) {
+      if (!worker->dead) fds.push_back(worker->connection.fd());
+    }
+    wait_any_readable(fds, timeout_ms);
+  }
+
+  accept_new_connections();
+  for (auto& worker : workers_) {
+    if (worker->dead) continue;
+    try {
+      drain_worker(*worker);
+    } catch (const std::runtime_error& e) {
+      bury_worker(*worker, e.what());
+    }
+  }
+  check_heartbeats();
+  // Requeued or newly added work onto the surviving workers right away.
+  assign_pending();
+
+  if (finished()) {
+    broadcast_shutdown();
+    return false;
+  }
+  return true;
+}
+
+void Coordinator::run() {
+  if (tasks_.empty()) {
+    throw std::logic_error("Coordinator::run: no scenarios added");
+  }
+  while (poll_once()) {
+  }
+}
+
+void Coordinator::accept_new_connections() {
+  while (listener_open_ && listener_.pending(0)) {
+    workers_.push_back(std::make_unique<WorkerState>(
+        next_worker_id_++, listener_.accept_connection()));
+  }
+}
+
+void Coordinator::assign_pending() {
+  for (auto& task : tasks_) {
+    if (task->state != Task::State::kPending) continue;
+    while (true) {
+      // Least-loaded live registered worker; lowest id breaks ties so
+      // assignment order is deterministic given an arrival order.
+      WorkerState* best = nullptr;
+      for (auto& worker : workers_) {
+        if (worker->dead || !worker->registered) continue;
+        if (best == nullptr || worker->active_tasks < best->active_tasks) {
+          best = worker.get();
+        }
+      }
+      if (best == nullptr) return;  // no capacity; retry next pump
+
+      const ScenarioState& scenario = *scenarios_[task->scenario_index];
+      AssignMsg assign;
+      assign.task_id = task->task_id;
+      assign.scenario_id = task->scenario_index;
+      assign.name = scenario.spec.name;
+      assign.generator_spec = scenario.spec.generator_spec;
+      assign.matcher_spec = scenario.spec.matcher_spec;
+      assign.session = scenario.spec.session;
+      assign.session.pool = nullptr;  // process-local, never on the wire
+      assign.shard_begin = task->range.begin;
+      assign.shard_end = task->range.end;
+      assign.checkpoint_chunks = config_.checkpoint_chunks;
+      assign.union_precision_bits = config_.union_precision_bits;
+      assign.resume_state = task->checkpoint;
+      try {
+        send_message(best->connection, assign);
+      } catch (const std::runtime_error& e) {
+        bury_worker(*best, e.what());
+        continue;  // pick the next-best worker for this task
+      }
+      task->state = Task::State::kAssigned;
+      task->worker_id = best->id;
+      ++best->active_tasks;
+      break;
+    }
+  }
+}
+
+void Coordinator::drain_worker(WorkerState& worker) {
+  while (worker.connection.readable(0)) {
+    const Message message = recv_message(worker.connection);
+    worker.last_seen.reset();
+    handle_message(worker, message);
+    if (worker.dead) return;
+  }
+}
+
+void Coordinator::handle_message(WorkerState& worker,
+                                 const Message& message) {
+  if (const auto* hello = std::get_if<HelloMsg>(&message)) {
+    if (hello->protocol_version != kProtocolVersion) {
+      throw std::runtime_error(
+          "dist coordinator: worker speaks protocol version " +
+          std::to_string(hello->protocol_version) + ", this build speaks " +
+          std::to_string(kProtocolVersion));
+    }
+    worker.registered = true;
+    worker.pid = hello->pid;
+    worker.label = hello->label;
+    ++stats_.workers_registered;
+    WelcomeMsg welcome;
+    welcome.worker_id = worker.id;
+    send_message(worker.connection, welcome);
+    return;
+  }
+  if (!worker.registered) {
+    throw std::runtime_error(
+        std::string("dist coordinator: message before Hello: ") +
+        message_name(message));
+  }
+  if (std::holds_alternative<HeartbeatMsg>(message)) {
+    return;  // last_seen already touched
+  }
+  if (const auto* checkpoint = std::get_if<CheckpointMsg>(&message)) {
+    Task* task = find_task(checkpoint->task_id);
+    // Stale frames (a task this worker no longer owns) are dropped: the
+    // owner of record is the only source of resume state.
+    if (task != nullptr && task->state == Task::State::kAssigned &&
+        task->worker_id == worker.id) {
+      task->checkpoint = checkpoint->state;
+      ++task->checkpoints_received;
+      ++stats_.checkpoints_received;
+    }
+    return;
+  }
+  if (const auto* result = std::get_if<ResultMsg>(&message)) {
+    Task* task = find_task(result->task_id);
+    if (task == nullptr || task->state != Task::State::kAssigned ||
+        task->worker_id != worker.id) {
+      return;  // stale result from a presumed-dead, actually-slow worker
+    }
+    task->state = Task::State::kDone;
+    task->result = *result;
+    task->worker_id = 0;
+    if (worker.active_tasks > 0) --worker.active_tasks;
+    ++tasks_done_;
+    ScenarioState& scenario = *scenarios_[task->scenario_index];
+    if (++scenario.done_parts == scenario.task_ids.size()) {
+      finalize_scenario(scenario);
+    }
+    return;
+  }
+  throw std::runtime_error(
+      std::string("dist coordinator: unexpected message ") +
+      message_name(message));
+}
+
+void Coordinator::bury_worker(WorkerState& worker, const std::string& why) {
+  if (worker.dead) return;
+  worker.dead = true;
+  worker.connection.close();  // stale frames can never land
+  if (worker.registered) ++stats_.workers_lost;
+  std::size_t requeued = 0;
+  for (auto& task : tasks_) {
+    if (task->state == Task::State::kAssigned &&
+        task->worker_id == worker.id) {
+      task->state = Task::State::kPending;
+      task->worker_id = 0;
+      ++task->reassignments;
+      ++stats_.reassignments;
+      ++requeued;
+    }
+  }
+  worker.active_tasks = 0;
+  PF_LOG_WARN << "dist coordinator: worker " << worker.id
+              << (worker.label.empty() ? "" : " (" + worker.label + ")")
+              << " lost (" << why << "); requeued " << requeued
+              << " task(s) from last checkpoints";
+}
+
+void Coordinator::check_heartbeats() {
+  for (auto& worker : workers_) {
+    if (worker->dead) continue;
+    if (worker->last_seen.elapsed_seconds() >
+        config_.heartbeat_timeout_seconds) {
+      bury_worker(*worker, "heartbeat timeout");
+    }
+  }
+}
+
+Coordinator::Task* Coordinator::find_task(std::uint64_t task_id) {
+  for (auto& task : tasks_) {
+    if (task->task_id == task_id) return task.get();
+  }
+  return nullptr;
+}
+
+void Coordinator::broadcast_shutdown() {
+  if (shutdown_sent_) return;
+  shutdown_sent_ = true;
+  for (auto& worker : workers_) {
+    if (worker->dead) continue;
+    try {
+      send_message(worker->connection, ShutdownMsg{});
+    } catch (const std::runtime_error&) {
+      // Already gone; nothing left to tell it.
+    }
+  }
+  listener_.close();
+  listener_open_ = false;
+}
+
+// ---- merging ---------------------------------------------------------------
+
+void Coordinator::finalize_scenario(ScenarioState& scenario) {
+  ScenarioOutcome& out = scenario.outcome;
+  out.name = scenario.spec.name;
+  out.parts = scenario.task_ids.size();
+
+  std::vector<const ResultMsg*> parts;  // part order
+  for (const std::uint64_t task_id : scenario.task_ids) {
+    const Task* task = find_task(task_id);
+    parts.push_back(&task->result);
+    out.reassignments += task->reassignments;
+  }
+  for (const ResultMsg* part : parts) {
+    out.test_set_size += part->test_set_size;
+  }
+
+  if (parts.size() == 1) {
+    // Verbatim: bitwise the single-process RunResult (timing aside).
+    out.result = parts[0]->result;
+  } else {
+    // Every part drove the identical guess stream against a disjoint key
+    // subset, so guesses/unique agree across parts and matched counts
+    // partition. A schedule mismatch means the workers did NOT run the
+    // same stream — refuse to merge rather than report plausible garbage.
+    const guessing::RunResult& first = parts[0]->result;
+    for (const ResultMsg* part : parts) {
+      if (part->result.checkpoints.size() != first.checkpoints.size()) {
+        throw std::runtime_error(
+            "dist merge: parts of \"" + out.name +
+            "\" disagree on checkpoint count");
+      }
+      for (std::size_t i = 0; i < first.checkpoints.size(); ++i) {
+        if (part->result.checkpoints[i].guesses !=
+            first.checkpoints[i].guesses) {
+          throw std::runtime_error(
+              "dist merge: parts of \"" + out.name +
+              "\" disagree on the guess schedule");
+        }
+      }
+    }
+    out.result.checkpoints.clear();
+    for (std::size_t i = 0; i < first.checkpoints.size(); ++i) {
+      guessing::Checkpoint merged = first.checkpoints[i];
+      merged.matched = 0;
+      for (const ResultMsg* part : parts) {
+        merged.matched += part->result.checkpoints[i].matched;
+      }
+      merged.matched_percent =
+          out.test_set_size == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(merged.matched) /
+                    static_cast<double>(out.test_set_size);
+      out.result.checkpoints.push_back(merged);
+    }
+    for (const ResultMsg* part : parts) {
+      out.result.matched_passwords.insert(
+          out.result.matched_passwords.end(),
+          part->result.matched_passwords.begin(),
+          part->result.matched_passwords.end());
+    }
+    out.result.sample_non_matched = first.sample_non_matched;
+    out.result.seconds = 0.0;
+    for (const ResultMsg* part : parts) {
+      out.result.seconds = std::max(out.result.seconds, part->result.seconds);
+    }
+  }
+
+  out.sketch = util::CardinalitySketch(config_.union_precision_bits);
+  out.sketch_valid = true;
+  for (const ResultMsg* part : parts) {
+    if (part->sketch.empty()) {
+      out.sketch_valid = false;
+      continue;
+    }
+    util::CardinalitySketch part_sketch(config_.union_precision_bits);
+    std::istringstream in(part->sketch);
+    part_sketch.load(in);
+    if (part_sketch.precision_bits() != config_.union_precision_bits) {
+      out.sketch_valid = false;
+      continue;
+    }
+    out.sketch.merge(part_sketch);
+  }
+  out.complete = true;
+}
+
+}  // namespace passflow::dist

@@ -1,0 +1,175 @@
+// Coordinator half of the distributed fleet: listens on localhost,
+// registers workers, assigns scenarios (or shard ranges of one scenario's
+// matcher) to them, and folds the returned metrics/sketches into
+// per-scenario outcomes plus a fleet-wide unique union — the same
+// register-max HLL merge AttackScheduler::aggregate performs in-process.
+//
+// Fault model: a worker is dead when its socket reports EOF/error, when a
+// frame off it fails validation (every byte is CRC-checked, so a torn
+// conversation is indistinguishable from a lost one and treated the same),
+// or when its heartbeat goes silent past the timeout. Dead workers'
+// assignments return to the pending queue carrying the last session
+// checkpoint the coordinator received; the next live worker thaws that
+// state (AttackSession::load_state restores the guess stream bit-for-bit)
+// and the scenario finishes with metrics identical to an uninterrupted
+// run. Workers that reconnect after a presumed death re-register as fresh
+// workers; their stale frames can never land because the old socket is
+// closed at declaration of death.
+//
+// Equivalence: a whole scenario's Result travels verbatim, so its
+// RunResult is bitwise the one a single-process AttackScheduler computes
+// (timing excluded). Shard-split scenarios drive the identical guess
+// stream per part against disjoint matcher ranges; per-checkpoint matched
+// counts merge by addition, matched_percent is recomputed over the summed
+// test-set size, and the distinct-guess sketch merges by register-max.
+//
+// Threading: single-threaded by design — drive poll_once()/run() from one
+// thread. Workers are separate processes; nothing here shares memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "guessing/metrics.hpp"
+#include "guessing/scheduler.hpp"
+#include "util/cardinality_sketch.hpp"
+
+namespace passflow::dist {
+
+// One scenario to distribute. Specs are opaque strings every worker's
+// ScenarioFactory resolves identically (see worker.hpp).
+struct DistScenario {
+  std::string name;
+  std::string generator_spec;
+  std::string matcher_spec;
+  guessing::SessionConfig session;
+  // > 1 splits the matcher's shard space [0, shard_count) into this many
+  // contiguous ranges (split_shard_ranges) assigned independently, each
+  // driving the full guess stream against its disjoint key subset.
+  std::size_t shard_splits = 1;
+  // The matcher's shard count; required when shard_splits > 1.
+  std::size_t shard_count = 0;
+};
+
+struct CoordinatorConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral; port() reports the real one
+  // A worker silent for longer than this is dead and its work reassigned.
+  double heartbeat_timeout_seconds = 5.0;
+  // Workers freeze and ship session state every N driven chunks; the last
+  // received checkpoint is what a reassignment resumes from. 0 disables
+  // checkpointing (death restarts the scenario from scratch).
+  std::size_t checkpoint_chunks = 8;
+  // Precision of every Result sketch and of the fleet-wide union.
+  unsigned union_precision_bits = 14;
+};
+
+// Merged final state of one scenario; valid once complete.
+struct ScenarioOutcome {
+  std::string name;
+  bool complete = false;
+  std::size_t parts = 1;
+  std::size_t reassignments = 0;
+  // Single-part scenarios: the worker's RunResult verbatim (bitwise the
+  // single-process result, timing aside). Shard splits: checkpoints carry
+  // part 0's guesses/unique, summed matched, recomputed matched_percent;
+  // matched_passwords concatenate in part order (per-part stream order);
+  // sample_non_matched is part 0's; seconds is the slowest part.
+  guessing::RunResult result;
+  std::size_t test_set_size = 0;  // summed over parts
+  // Register-max union of the parts' distinct-guess sketches. Invalid when
+  // any part could not contribute (tracking off / precision mismatch).
+  bool sketch_valid = false;
+  util::CardinalitySketch sketch;
+};
+
+struct CoordinatorStats {
+  std::size_t workers_registered = 0;  // Hello handshakes ever completed
+  std::size_t workers_live = 0;
+  std::size_t workers_lost = 0;
+  std::size_t tasks = 0;
+  std::size_t tasks_done = 0;
+  std::size_t reassignments = 0;
+  std::size_t checkpoints_received = 0;
+  // Over completed scenarios only.
+  std::size_t produced = 0;
+  std::size_t matched = 0;
+  std::size_t unique_union = 0;
+  bool unique_union_valid = false;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config = {});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Registers a scenario and returns its id (also its outcome index).
+  // Callable until the fleet finishes.
+  std::size_t add_scenario(DistScenario scenario);
+
+  std::uint16_t port() const;
+
+  // One event-loop pump: accepts connections, registers workers, assigns
+  // pending tasks, ingests heartbeats/checkpoints/results, declares dead
+  // workers and requeues their work. Returns true while the fleet is
+  // unfinished; on the pump that completes the last task it broadcasts
+  // Shutdown, closes the listener, and returns false.
+  bool poll_once(int timeout_ms = 50);
+
+  // Pumps until every scenario completes.
+  void run();
+
+  bool finished() const;
+
+  // Outcome of a completed scenario; throws std::logic_error while it is
+  // still in flight.
+  const ScenarioOutcome& outcome(std::size_t scenario_id) const;
+  std::size_t scenario_count() const;
+
+  CoordinatorStats stats() const;
+
+  // Introspection for tests and progress displays.
+  // OS pid of the worker currently assigned the given part (0 = none).
+  std::uint64_t assigned_worker_pid(std::size_t scenario_id,
+                                    std::size_t part = 0) const;
+  // Session checkpoints received for the scenario, summed over parts.
+  std::size_t checkpoints_received(std::size_t scenario_id) const;
+
+ private:
+  struct Task;
+  struct WorkerState;
+  struct ScenarioState;
+
+  void assign_pending();
+  void accept_new_connections();
+  // Drains every decodable frame off one worker; throws on a dead/corrupt
+  // connection (caller buries the worker).
+  void drain_worker(WorkerState& worker);
+  void handle_message(WorkerState& worker, const Message& message);
+  void bury_worker(WorkerState& worker, const std::string& why);
+  void check_heartbeats();
+  void finalize_scenario(ScenarioState& scenario);
+  void broadcast_shutdown();
+  Task* find_task(std::uint64_t task_id);
+
+  CoordinatorConfig config_;
+  Listener listener_;
+  bool listener_open_ = true;
+  std::vector<std::unique_ptr<ScenarioState>> scenarios_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::uint64_t next_worker_id_ = 1;
+  std::uint64_t next_task_id_ = 1;
+  std::size_t tasks_done_ = 0;
+  bool shutdown_sent_ = false;
+  CoordinatorStats stats_;
+};
+
+}  // namespace passflow::dist

@@ -1,0 +1,13 @@
+#include "dist/framing.hpp"
+
+namespace passflow::dist {
+
+void send_message(Connection& connection, const Message& message) {
+  connection.send_frame(encode(message));
+}
+
+Message recv_message(Connection& connection) {
+  return decode(connection.recv_frame());
+}
+
+}  // namespace passflow::dist

@@ -1,0 +1,23 @@
+// Message-level send/receive over a transport Connection: one protocol
+// message per CRC frame.
+//
+// This is the only seam where protocol payloads meet wire frames, so both
+// ends always agree on the layering: encode() -> encode_checkpoint_frame()
+// on the way out, CheckpointStore::read_frame() -> decode() on the way in.
+// Any failure — socket error, torn frame, CRC mismatch, unknown tag,
+// trailing bytes — surfaces as std::runtime_error; callers treat the
+// connection as dead and fall back to reconnect (worker) or reassignment
+// (coordinator). There is no partial-message state to resynchronize.
+#pragma once
+
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+
+namespace passflow::dist {
+
+void send_message(Connection& connection, const Message& message);
+
+// Blocks for one full frame and decodes it.
+Message recv_message(Connection& connection);
+
+}  // namespace passflow::dist

@@ -1,0 +1,248 @@
+#include "dist/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "guessing/unique_tracker.hpp"
+#include "util/serial_io.hpp"
+
+namespace passflow::dist {
+
+namespace {
+
+namespace io = util::io;
+
+// Wire tags; variant alternative order. Never renumber — bump
+// kProtocolVersion instead.
+enum class Tag : std::uint64_t {
+  kHello = 1,
+  kWelcome = 2,
+  kAssign = 3,
+  kHeartbeat = 4,
+  kCheckpoint = 5,
+  kResult = 6,
+  kShutdown = 7,
+};
+
+void write_session_config(std::ostream& out,
+                          const guessing::SessionConfig& session) {
+  // The same field set AttackScheduler::save_state echoes: everything that
+  // shapes metrics. pool / pipeline_depth still travel so a worker can
+  // reproduce the exact requested execution shape — except pool, which is
+  // a process-local pointer and is bound worker-side.
+  io::write_u64(out, session.budget);
+  io::write_u64(out, session.chunk_size);
+  io::write_u64(out, session.non_matched_samples);
+  io::write_u64(out, static_cast<std::uint64_t>(session.unique_tracking));
+  io::write_u64(out, session.unique_shards);
+  io::write_u64(out, session.sketch_precision_bits);
+  io::write_u64(out, session.pipeline_depth);
+  io::write_u64(out, session.log_progress ? 1 : 0);
+  io::write_u64(out, session.checkpoints.size());
+  for (const std::size_t cp : session.checkpoints) io::write_u64(out, cp);
+}
+
+guessing::SessionConfig read_session_config(std::istream& in) {
+  guessing::SessionConfig session;
+  session.budget = io::read_u64(in);
+  session.chunk_size = io::read_u64(in);
+  session.non_matched_samples = io::read_u64(in);
+  const std::uint64_t tracking = io::read_u64(in);
+  if (tracking >
+      static_cast<std::uint64_t>(guessing::UniqueTracking::kSketch)) {
+    throw std::runtime_error("dist message: invalid unique tracking mode " +
+                             std::to_string(tracking));
+  }
+  session.unique_tracking = static_cast<guessing::UniqueTracking>(tracking);
+  session.unique_shards = io::read_u64(in);
+  session.sketch_precision_bits =
+      static_cast<unsigned>(io::read_u64(in));
+  session.pipeline_depth = io::read_u64(in);
+  session.log_progress = io::read_u64(in) != 0;
+  const std::uint64_t checkpoint_count =
+      io::read_length(in, "session checkpoint schedule");
+  session.checkpoints.reserve(checkpoint_count);
+  for (std::uint64_t i = 0; i < checkpoint_count; ++i) {
+    session.checkpoints.push_back(io::read_u64(in));
+  }
+  return session;
+}
+
+void write_run_result(std::ostream& out, const guessing::RunResult& result) {
+  io::write_u64(out, result.checkpoints.size());
+  for (const guessing::Checkpoint& cp : result.checkpoints) {
+    io::write_u64(out, cp.guesses);
+    io::write_u64(out, cp.unique);
+    io::write_u64(out, cp.matched);
+    io::write_f64(out, cp.matched_percent);
+  }
+  io::write_string_vec(out, result.matched_passwords);
+  io::write_string_vec(out, result.sample_non_matched);
+  io::write_f64(out, result.seconds);
+}
+
+guessing::RunResult read_run_result(std::istream& in) {
+  guessing::RunResult result;
+  const std::uint64_t checkpoint_count =
+      io::read_length(in, "result checkpoints");
+  result.checkpoints.reserve(checkpoint_count);
+  for (std::uint64_t i = 0; i < checkpoint_count; ++i) {
+    guessing::Checkpoint cp;
+    cp.guesses = io::read_u64(in);
+    cp.unique = io::read_u64(in);
+    cp.matched = io::read_u64(in);
+    cp.matched_percent = io::read_f64(in);
+    result.checkpoints.push_back(cp);
+  }
+  result.matched_passwords = io::read_string_vec(in);
+  result.sample_non_matched = io::read_string_vec(in);
+  result.seconds = io::read_f64(in);
+  return result;
+}
+
+struct Encoder {
+  std::ostream& out;
+
+  void operator()(const HelloMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kHello));
+    io::write_u64(out, m.protocol_version);
+    io::write_u64(out, m.pid);
+    io::write_string(out, m.label);
+  }
+  void operator()(const WelcomeMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kWelcome));
+    io::write_u64(out, m.worker_id);
+  }
+  void operator()(const AssignMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kAssign));
+    io::write_u64(out, m.task_id);
+    io::write_u64(out, m.scenario_id);
+    io::write_string(out, m.name);
+    io::write_string(out, m.generator_spec);
+    io::write_string(out, m.matcher_spec);
+    write_session_config(out, m.session);
+    io::write_u64(out, m.shard_begin);
+    io::write_u64(out, m.shard_end);
+    io::write_u64(out, m.checkpoint_chunks);
+    io::write_u64(out, m.union_precision_bits);
+    io::write_string(out, m.resume_state);
+  }
+  void operator()(const HeartbeatMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kHeartbeat));
+    io::write_u64(out, m.produced_total);
+  }
+  void operator()(const CheckpointMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kCheckpoint));
+    io::write_u64(out, m.task_id);
+    io::write_string(out, m.state);
+  }
+  void operator()(const ResultMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kResult));
+    io::write_u64(out, m.task_id);
+    write_run_result(out, m.result);
+    io::write_u64(out, m.test_set_size);
+    io::write_string(out, m.sketch);
+  }
+  void operator()(const ShutdownMsg&) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kShutdown));
+  }
+};
+
+}  // namespace
+
+const char* message_name(const Message& message) {
+  struct Namer {
+    const char* operator()(const HelloMsg&) const { return "Hello"; }
+    const char* operator()(const WelcomeMsg&) const { return "Welcome"; }
+    const char* operator()(const AssignMsg&) const { return "Assign"; }
+    const char* operator()(const HeartbeatMsg&) const { return "Heartbeat"; }
+    const char* operator()(const CheckpointMsg&) const { return "Checkpoint"; }
+    const char* operator()(const ResultMsg&) const { return "Result"; }
+    const char* operator()(const ShutdownMsg&) const { return "Shutdown"; }
+  };
+  return std::visit(Namer{}, message);
+}
+
+std::string encode(const Message& message) {
+  std::ostringstream out;
+  std::visit(Encoder{out}, message);
+  return out.str();
+}
+
+Message decode(const std::string& payload) {
+  std::istringstream in(payload);
+  const std::uint64_t tag = io::read_u64(in);
+  Message message;
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kHello: {
+      HelloMsg m;
+      m.protocol_version = io::read_u64(in);
+      m.pid = io::read_u64(in);
+      m.label = io::read_string(in);
+      message = std::move(m);
+      break;
+    }
+    case Tag::kWelcome: {
+      WelcomeMsg m;
+      m.worker_id = io::read_u64(in);
+      message = m;
+      break;
+    }
+    case Tag::kAssign: {
+      AssignMsg m;
+      m.task_id = io::read_u64(in);
+      m.scenario_id = io::read_u64(in);
+      m.name = io::read_string(in);
+      m.generator_spec = io::read_string(in);
+      m.matcher_spec = io::read_string(in);
+      m.session = read_session_config(in);
+      m.shard_begin = io::read_u64(in);
+      m.shard_end = io::read_u64(in);
+      m.checkpoint_chunks = io::read_u64(in);
+      m.union_precision_bits = io::read_u64(in);
+      m.resume_state = io::read_string(in);
+      message = std::move(m);
+      break;
+    }
+    case Tag::kHeartbeat: {
+      HeartbeatMsg m;
+      m.produced_total = io::read_u64(in);
+      message = m;
+      break;
+    }
+    case Tag::kCheckpoint: {
+      CheckpointMsg m;
+      m.task_id = io::read_u64(in);
+      m.state = io::read_string(in);
+      message = std::move(m);
+      break;
+    }
+    case Tag::kResult: {
+      ResultMsg m;
+      m.task_id = io::read_u64(in);
+      m.result = read_run_result(in);
+      m.test_set_size = io::read_u64(in);
+      m.sketch = io::read_string(in);
+      message = std::move(m);
+      break;
+    }
+    case Tag::kShutdown:
+      message = ShutdownMsg{};
+      break;
+    default:
+      throw std::runtime_error("dist message: unknown tag " +
+                               std::to_string(tag));
+  }
+  // Exact consumption: leftover bytes mean the payload was assembled for a
+  // different layout than this decoder parsed — reject rather than return
+  // a message that only half-matches its frame.
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error(
+        std::string("dist message: trailing bytes after ") +
+        message_name(message));
+  }
+  return message;
+}
+
+}  // namespace passflow::dist

@@ -1,0 +1,342 @@
+#include "dist/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+#include <streambuf>
+#include <utility>
+
+#include "util/checkpoint.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PASSFLOW_DIST_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define PASSFLOW_DIST_POSIX 0
+#endif
+
+namespace passflow::dist {
+
+namespace {
+
+#if PASSFLOW_DIST_POSIX
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("dist transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+// Pulls socket bytes into std::istream land so the checkpoint frame
+// validator (CheckpointStore::read_frame) runs unchanged on wire data.
+// Read-only: the send path writes whole frames directly.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {}
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ::ssize_t n;
+    do {
+      n = ::recv(fd_, buf_, sizeof(buf_), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();  // EOF or error: stream ends
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  int fd_;
+  char buf_[64 * 1024];
+};
+
+// MSG_NOSIGNAL keeps a dead peer an EPIPE error instead of a process-wide
+// SIGPIPE; macOS spells it as a socket option instead.
+void suppress_sigpipe(int fd) {
+#if defined(__APPLE__)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+int send_flags() {
+#if defined(MSG_NOSIGNAL)
+  return MSG_NOSIGNAL;
+#else
+  return 0;
+#endif
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  ::pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll failed");
+  // POLLHUP/POLLERR also count: the next recv reports the condition.
+  return rc > 0;
+}
+
+#endif  // PASSFLOW_DIST_POSIX
+
+}  // namespace
+
+bool transport_available() { return PASSFLOW_DIST_POSIX != 0; }
+
+#if PASSFLOW_DIST_POSIX
+
+// ---- Connection ------------------------------------------------------------
+
+Connection::Connection(int fd)
+    : fd_(fd),
+      buf_(std::make_unique<FdStreambuf>(fd)),
+      in_(std::make_unique<std::istream>(buf_.get())) {
+  suppress_sigpipe(fd_);
+  // Frames are small and latency-sensitive (heartbeats gate liveness);
+  // Nagle batching would delay them behind delayed ACKs.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_)),
+      in_(std::move(other.in_)) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+    in_ = std::move(other.in_);
+  }
+  return *this;
+}
+
+Connection::~Connection() { close(); }
+
+bool Connection::open() const { return fd_ >= 0; }
+
+int Connection::fd() const { return fd_; }
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.reset();
+  buf_.reset();
+}
+
+void Connection::send_frame(const std::string& payload) {
+  if (!open()) throw std::runtime_error("dist transport: send on closed connection");
+  const std::string frame = util::encode_checkpoint_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ::ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                               send_flags());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Connection::recv_frame() {
+  if (!open()) throw std::runtime_error("dist transport: recv on closed connection");
+  return util::CheckpointStore::read_frame(*in_, "dist frame");
+}
+
+bool Connection::has_buffered() const {
+  return open() && buf_->in_avail() > 0;
+}
+
+bool Connection::readable(int timeout_ms) {
+  if (!open()) return false;
+  if (has_buffered()) return true;
+  return poll_readable(fd_, timeout_ms);
+}
+
+// ---- Listener --------------------------------------------------------------
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = ::htons(port);
+  if (::bind(fd_, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind to 127.0.0.1:" + std::to_string(port) + " failed");
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen failed");
+  }
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<::sockaddr*>(&addr), &len) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname failed");
+  }
+  port_ = ::ntohs(addr.sin_port);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Listener::pending(int timeout_ms) {
+  if (fd_ < 0) return false;
+  return poll_readable(fd_, timeout_ms);
+}
+
+Connection Listener::accept_connection() {
+  if (fd_ < 0) throw std::runtime_error("dist transport: accept on closed listener");
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) throw_errno("accept failed");
+  return Connection(client);
+}
+
+Connection connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket failed");
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = ::htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("dist transport: invalid address \"" + host +
+                             "\" (numeric IPv4 only, e.g. 127.0.0.1)");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect to " + host + ":" + std::to_string(port) +
+                " failed");
+  }
+  return Connection(fd);
+}
+
+bool wait_any_readable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<::pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) {
+    if (fd < 0) continue;
+    ::pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfds.push_back(pfd);
+  }
+  if (pfds.empty()) return false;
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll failed");
+  return rc > 0;
+}
+
+#else  // !PASSFLOW_DIST_POSIX
+
+// Loud stubs: dist code compiles everywhere, but using the transport on a
+// platform without POSIX sockets is an immediate error, mirroring how the
+// checkpoint store degrades without fsync/rename.
+
+namespace {
+[[noreturn]] void unavailable() {
+  throw std::runtime_error(
+      "dist transport: POSIX sockets are not available on this platform");
+}
+}  // namespace
+
+Connection::Connection(int) { unavailable(); }
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_)),
+      in_(std::move(other.in_)) {}
+Connection& Connection::operator=(Connection&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  buf_ = std::move(other.buf_);
+  in_ = std::move(other.in_);
+  return *this;
+}
+Connection::~Connection() = default;
+void Connection::send_frame(const std::string&) { unavailable(); }
+std::string Connection::recv_frame() { unavailable(); }
+bool Connection::readable(int) { return false; }
+bool Connection::has_buffered() const { return false; }
+bool Connection::open() const { return false; }
+void Connection::close() {}
+int Connection::fd() const { return -1; }
+
+Listener::Listener(std::uint16_t) { unavailable(); }
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+Listener& Listener::operator=(Listener&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  port_ = std::exchange(other.port_, 0);
+  return *this;
+}
+Listener::~Listener() = default;
+bool Listener::pending(int) { return false; }
+Connection Listener::accept_connection() { unavailable(); }
+void Listener::close() {}
+
+Connection connect_to(const std::string&, std::uint16_t) { unavailable(); }
+
+bool wait_any_readable(const std::vector<int>&, int) { return false; }
+
+#endif  // PASSFLOW_DIST_POSIX
+
+}  // namespace passflow::dist

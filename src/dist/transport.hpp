@@ -1,0 +1,114 @@
+// Localhost TCP transport for the coordinator/worker protocol: RAII
+// sockets, a listener with ephemeral-port support, and connections that
+// speak CRC checkpoint frames.
+//
+// Every frame on the wire is the exact byte layout CheckpointWriter
+// publishes to disk (util::encode_checkpoint_frame on send,
+// CheckpointStore::read_frame pulled straight off a socket-backed
+// std::istream on receive), so a torn read or flipped bit fails the same
+// validation as a torn checkpoint file — loudly, before any payload byte
+// reaches the protocol decoder. The transport carries no message
+// semantics; see protocol.hpp for what the payloads mean.
+//
+// POSIX only (the same gate as checkpoint fsync/rename): on other
+// platforms transport_available() is false and every constructor throws,
+// so dist code still compiles and tests skip cleanly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace passflow::dist {
+
+// True when this build carries the POSIX socket transport.
+bool transport_available();
+
+// One accepted or dialed stream socket. Move-only; closing (or
+// destruction) makes every later call throw.
+class Connection {
+ public:
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection();
+
+  // Seals `payload` into a CRC frame and writes it in full. Throws
+  // std::runtime_error on any socket error (including a peer that died —
+  // SIGPIPE is suppressed).
+  void send_frame(const std::string& payload);
+
+  // Blocks until one full frame arrives and returns its validated
+  // payload. Throws std::runtime_error on EOF, socket error, or any
+  // frame-validation failure — a torn or corrupt frame never yields
+  // partial bytes.
+  std::string recv_frame();
+
+  // True when a recv_frame() would make progress without blocking longer
+  // than `timeout_ms`: bytes already buffered, readable on the socket, or
+  // a pending EOF/error (which recv_frame then reports loudly).
+  bool readable(int timeout_ms);
+
+  // Bytes already pulled off the socket but not yet consumed by
+  // recv_frame(). poll() cannot see these — check before sleeping.
+  bool has_buffered() const;
+
+  bool open() const;
+  void close();
+  int fd() const;
+
+ private:
+  friend class Listener;
+  friend Connection connect_to(const std::string& host, std::uint16_t port);
+  explicit Connection(int fd);
+
+  int fd_ = -1;
+  std::unique_ptr<std::streambuf> buf_;
+  std::unique_ptr<std::istream> in_;
+};
+
+// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port;
+// port() reports the actual one.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port = 0);
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  std::uint16_t port() const { return port_; }
+
+  // True when accept_connection() would not block for more than
+  // `timeout_ms`.
+  bool pending(int timeout_ms);
+
+  // Blocks until a worker dials in.
+  Connection accept_connection();
+
+  // Stops accepting: later dials get connection-refused, which turns a
+  // worker arriving after fleet completion into a loud bounded error
+  // instead of a silent hang.
+  void close();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Dials `host`:`port` once (numeric address, e.g. "127.0.0.1"); throws on
+// failure. Retry policy is the caller's job — see backoff.hpp.
+Connection connect_to(const std::string& host, std::uint16_t port);
+
+// Blocks up to `timeout_ms` for readability on any of `fds` (entries < 0
+// are ignored); returns true when at least one is readable or hung up.
+// The coordinator's event loop sleeps here across listener + workers.
+bool wait_any_readable(const std::vector<int>& fds, int timeout_ms);
+
+}  // namespace passflow::dist

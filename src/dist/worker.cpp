@@ -1,0 +1,229 @@
+#include "dist/worker.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "dist/framing.hpp"
+#include "dist/transport.hpp"
+#include "util/cardinality_sketch.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace passflow::dist {
+
+namespace {
+
+std::uint64_t current_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+void sleep_seconds(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+// One in-flight assignment: the bound generator/matcher pair and the
+// session driving them. Erased the moment its Result ships.
+struct Worker::ActiveTask {
+  std::uint64_t task_id = 0;
+  std::uint64_t checkpoint_chunks = 0;
+  unsigned union_precision_bits = 14;
+  std::unique_ptr<guessing::GuessGenerator> generator;
+  std::shared_ptr<const guessing::Matcher> matcher;
+  std::unique_ptr<guessing::AttackSession> session;
+  std::size_t chunks_since_checkpoint = 0;
+};
+
+Worker::Worker(WorkerConfig config, ScenarioFactory factory)
+    : config_(std::move(config)), factory_(std::move(factory)) {
+  if (!factory_) {
+    throw std::invalid_argument("Worker: null scenario factory");
+  }
+}
+
+Worker::~Worker() = default;
+
+void Worker::run() {
+  Backoff backoff(config_.reconnect);
+  while (!shutdown_) {
+    Connection connection = [&] {
+      while (true) {
+        try {
+          Connection dialed = connect_to(config_.host, config_.port);
+          // A live coordinator resets the outage clock; the next loss
+          // starts a fresh schedule.
+          backoff.reset();
+          return dialed;
+        } catch (const std::runtime_error&) {
+          if (backoff.exhausted()) throw;
+          sleep_seconds(backoff.next_delay_seconds());
+        }
+      }
+    }();
+    try {
+      serve(connection);
+    } catch (const std::runtime_error& e) {
+      // Connection loss or a frame that failed validation: every byte of
+      // a torn conversation is suspect, so drop all in-flight sessions
+      // and re-register — the coordinator reassigns them from the last
+      // checkpoints it holds, which restores the guess streams
+      // bit-for-bit.
+      active_.clear();
+      ++stats_.reconnects;
+      PF_LOG_WARN << "dist worker: connection lost (" << e.what()
+                  << "); reconnecting";
+      if (backoff.exhausted()) throw;
+      sleep_seconds(backoff.next_delay_seconds());
+    }
+  }
+}
+
+void Worker::serve(Connection& connection) {
+  HelloMsg hello;
+  hello.pid = current_pid();
+  hello.label = config_.label;
+  send_message(connection, hello);
+  const Message welcome = recv_message(connection);
+  if (!std::holds_alternative<WelcomeMsg>(welcome)) {
+    throw std::runtime_error(
+        std::string("dist worker: expected Welcome, got ") +
+        message_name(welcome));
+  }
+
+  util::Timer heartbeat_timer;
+  while (true) {
+    // Idle workers park on the socket; busy ones only glance at it so
+    // slices keep flowing.
+    int timeout_ms = active_.empty() ? 50 : 0;
+    while (connection.readable(timeout_ms)) {
+      timeout_ms = 0;
+      const Message message = recv_message(connection);
+      if (std::holds_alternative<ShutdownMsg>(message)) {
+        shutdown_ = true;
+        return;
+      }
+      if (const auto* assign = std::get_if<AssignMsg>(&message)) {
+        handle_assign(*assign);
+      } else {
+        throw std::runtime_error(
+            std::string("dist worker: unexpected message ") +
+            message_name(message));
+      }
+    }
+    drive(connection);
+    if (heartbeat_timer.elapsed_seconds() >=
+        config_.heartbeat_interval_seconds) {
+      HeartbeatMsg beat;
+      for (const auto& task : active_) {
+        beat.produced_total += task->session->stats().produced;
+      }
+      send_message(connection, beat);
+      heartbeat_timer.reset();
+    }
+  }
+}
+
+void Worker::handle_assign(const AssignMsg& assign) {
+  AssignedScenario view;
+  view.scenario_id = assign.scenario_id;
+  view.name = assign.name;
+  view.generator_spec = assign.generator_spec;
+  view.matcher_spec = assign.matcher_spec;
+  view.shard_begin = assign.shard_begin;
+  view.shard_end = assign.shard_end;
+  view.session = assign.session;
+
+  WorkerBinding binding = factory_(view);
+  if (!binding.generator || !binding.matcher) {
+    throw std::logic_error(
+        "dist worker: scenario factory returned a null generator or "
+        "matcher for \"" + assign.name + "\"");
+  }
+
+  auto task = std::make_unique<ActiveTask>();
+  task->task_id = assign.task_id;
+  task->checkpoint_chunks = assign.checkpoint_chunks;
+  task->union_precision_bits =
+      static_cast<unsigned>(assign.union_precision_bits);
+  task->generator = std::move(binding.generator);
+  task->matcher = std::move(binding.matcher);
+
+  guessing::SessionConfig session_config = assign.session;
+  session_config.pool = config_.pool;  // process-local, never on the wire
+  task->session = std::make_unique<guessing::AttackSession>(
+      *task->generator, guessing::MatcherRef(task->matcher), session_config);
+  if (!assign.resume_state.empty()) {
+    std::istringstream in(assign.resume_state);
+    task->session->load_state(in);
+  }
+  ++stats_.assignments;
+  // A zero-budget (or already-complete resume) assignment finishes
+  // without a single step; the next drive pass ships its Result.
+  active_.push_back(std::move(task));
+}
+
+bool Worker::drive(Connection& connection) {
+  for (std::size_t i = 0; i < active_.size();) {
+    ActiveTask& task = *active_[i];
+    for (std::size_t c = 0; c < config_.slice_chunks; ++c) {
+      if (!task.session->step()) break;
+      ++task.chunks_since_checkpoint;
+    }
+    if (task.session->finished()) {
+      send_result(connection, task);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (task.checkpoint_chunks != 0 &&
+        task.chunks_since_checkpoint >= task.checkpoint_chunks &&
+        task.generator->supports_state_serialization()) {
+      CheckpointMsg checkpoint;
+      checkpoint.task_id = task.task_id;
+      std::ostringstream state;
+      task.session->save_state(state);
+      checkpoint.state = state.str();
+      send_message(connection, checkpoint);
+      ++stats_.checkpoints_sent;
+      task.chunks_since_checkpoint = 0;
+    }
+    ++i;
+  }
+  return !active_.empty();
+}
+
+void Worker::send_result(Connection& connection, ActiveTask& task) {
+  ResultMsg result;
+  result.task_id = task.task_id;
+  result.result = task.session->result();
+  result.test_set_size = task.matcher->test_set_size();
+  try {
+    util::CardinalitySketch sketch(task.union_precision_bits);
+    if (task.session->merge_unique_sketch(sketch)) {
+      std::ostringstream out;
+      sketch.save(out);
+      result.sketch = out.str();
+    }
+  } catch (const std::invalid_argument&) {
+    // Sketch-mode session at a different precision: it cannot contribute
+    // to the union, same as in AttackScheduler::aggregate. The empty
+    // sketch marks the fleet-wide unique estimate invalid, loudly.
+    result.sketch.clear();
+  }
+  send_message(connection, result);
+  ++stats_.results_sent;
+}
+
+}  // namespace passflow::dist

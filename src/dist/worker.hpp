@@ -1,0 +1,118 @@
+// Worker half of the distributed fleet: one process that dials the
+// coordinator, receives scenario assignments, drives an AttackSession per
+// assignment, and streams checkpoints/results back.
+//
+// Generators and matchers cannot cross a process boundary, so an Assign
+// carries opaque spec strings and every worker binds them through the same
+// deterministic ScenarioFactory — the exact pattern AttackScheduler::
+// load_state uses to rebind thawed scenarios via ScenarioResolver. Two
+// workers given the same spec build bit-identical generators, which is
+// what makes reassignment-after-crash metrics-preserving: the replacement
+// worker thaws the last shipped session checkpoint (AttackSession::
+// load_state restores the guess stream bit-for-bit) and continues as if
+// the dead worker had never existed.
+//
+// Threading: the worker itself is single-threaded — one blocking-ish loop
+// alternating socket polls with driving session slices. Sessions may still
+// use a ThreadPool / pipeline internally (config.pool, per-assignment
+// pipeline_depth); metrics are bitwise independent of both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/backoff.hpp"
+#include "dist/protocol.hpp"
+#include "guessing/generator.hpp"
+#include "guessing/session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace passflow::dist {
+
+// One assignment as handed to the factory. shard_begin == shard_end == 0
+// means the whole matcher; otherwise bind a view restricted to the
+// half-open shard range (e.g. MappedMatcher's range constructor).
+struct AssignedScenario {
+  std::uint64_t scenario_id = 0;
+  std::string name;
+  std::string generator_spec;
+  std::string matcher_spec;
+  std::uint64_t shard_begin = 0;
+  std::uint64_t shard_end = 0;
+  guessing::SessionConfig session;
+};
+
+// What the factory must produce: a fresh generator (worker-owned) and the
+// matcher to probe. Throwing from the factory is fatal for the worker —
+// an unresolvable spec is a deployment bug, not a transient fault.
+struct WorkerBinding {
+  std::unique_ptr<guessing::GuessGenerator> generator;
+  std::shared_ptr<const guessing::Matcher> matcher;
+};
+
+using ScenarioFactory =
+    std::function<WorkerBinding(const AssignedScenario&)>;
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string label;  // free-form name in coordinator logs
+  // Handed to every session (bulk matching / pipeline tracker); may be
+  // nullptr for fully serial sessions (required when the worker process
+  // forks, per the crash-test discipline).
+  util::ThreadPool* pool = nullptr;
+  // Chunks driven per session between socket polls: small enough to keep
+  // heartbeat latency bounded, big enough to amortize the poll.
+  std::size_t slice_chunks = 4;
+  double heartbeat_interval_seconds = 0.2;
+  BackoffPolicy reconnect;
+};
+
+struct WorkerStats {
+  std::size_t assignments = 0;  // Assign messages honored (incl. resumes)
+  std::size_t results_sent = 0;
+  std::size_t checkpoints_sent = 0;
+  std::size_t reconnects = 0;
+};
+
+class Worker {
+ public:
+  Worker(WorkerConfig config, ScenarioFactory factory);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  // Connects (with backoff) and serves until the coordinator sends
+  // Shutdown. On a lost connection, drops all in-flight sessions and
+  // reconnects — the coordinator reassigns from the last checkpoints it
+  // holds. Throws std::runtime_error once the reconnect budget is
+  // exhausted, and propagates factory/session errors unchanged.
+  void run();
+
+  const WorkerStats& stats() const { return stats_; }
+
+ private:
+  struct ActiveTask;
+
+  // One serve cycle on a live connection; loops until Shutdown or a
+  // connection error (which throws out to run()'s reconnect handling).
+  void serve(class Connection& connection);
+  void handle_assign(const AssignMsg& assign);
+  // Drives every active session one slice; ships results/checkpoints.
+  // Returns true when any session still has budget left.
+  bool drive(class Connection& connection);
+  void send_result(class Connection& connection, ActiveTask& task);
+
+  WorkerConfig config_;
+  ScenarioFactory factory_;
+  WorkerStats stats_;
+  std::vector<std::unique_ptr<ActiveTask>> active_;
+  bool shutdown_ = false;
+};
+
+}  // namespace passflow::dist

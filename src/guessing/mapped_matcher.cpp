@@ -387,7 +387,31 @@ MappedMatcher::MappedMatcher(const std::string& index_path)
     view.arena_bytes = static_cast<std::size_t>(arena_bytes);
     shards_[s] = view;
   }
+  shard_end_ = shards_.size();
   file_.advise_random();
+}
+
+MappedMatcher::MappedMatcher(const std::string& index_path,
+                             std::size_t shard_begin, std::size_t shard_end)
+    : MappedMatcher(index_path) {
+  if (shard_begin >= shard_end || shard_end > shards_.size()) {
+    throw std::invalid_argument(
+        "MappedMatcher: invalid shard range [" +
+        std::to_string(shard_begin) + ", " + std::to_string(shard_end) +
+        ") for " + std::to_string(shards_.size()) + " shards");
+  }
+  shard_begin_ = shard_begin;
+  shard_end_ = shard_end;
+  // The header's key count covers the whole file; a range view reports
+  // only its own shards' keys so matched_percent keeps its denominator.
+  key_count_ = 0;
+  for (std::size_t s = shard_begin_; s < shard_end_; ++s) {
+    const ShardView& shard = shards_[s];
+    for (std::size_t i = 0; i < shard.slot_count; ++i) {
+      const unsigned char* slot = shard.table + i * kIndexSlotBytes;
+      if (load_u64(slot + 8) != 0) ++key_count_;
+    }
+  }
 }
 
 bool MappedMatcher::probe_shard(const ShardView& shard, std::uint64_t hash,
@@ -421,11 +445,18 @@ bool MappedMatcher::probe_shard(const ShardView& shard, std::uint64_t hash,
 
 bool MappedMatcher::contains(const std::string& password) const {
   const std::uint64_t hash = util::hash64(password, kIndexHashSeed);
-  return probe_shard(shards_[hash % shards_.size()], hash, password);
+  const std::size_t shard = hash % shards_.size();
+  if (shard < shard_begin_ || shard >= shard_end_) return false;
+  return probe_shard(shards_[shard], hash, password);
 }
 
 std::string MappedMatcher::name() const {
-  return "mapped(" + std::to_string(shards_.size()) + ")";
+  std::string name = "mapped(" + std::to_string(shards_.size()) + ")";
+  if (shard_begin_ != 0 || shard_end_ != shards_.size()) {
+    name += "[" + std::to_string(shard_begin_) + "," +
+            std::to_string(shard_end_) + ")";
+  }
+  return name;
 }
 
 void MappedMatcher::contains_batch(const std::vector<std::string>& batch,
@@ -444,6 +475,7 @@ void MappedMatcher::contains_batch(const std::vector<std::string>& batch,
           return util::hash64(key, kIndexHashSeed);
         },
         [this](std::size_t s, std::uint64_t hash, const std::string& key) {
+          if (s < shard_begin_ || s >= shard_end_) return false;
           return probe_shard(shards_[s], hash, key);
         },
         out);

@@ -138,6 +138,18 @@ class MappedMatcher : public Matcher {
  public:
   explicit MappedMatcher(const std::string& index_path);
 
+  // Range-restricted view for distributed shard splits: contains() answers
+  // true only for keys whose shard falls in [shard_begin, shard_end) —
+  // keys hashing elsewhere are false without touching the file — and
+  // test_set_size() is the number of keys stored in those shards (counted
+  // once at construction by scanning their slot tables). Ranges from
+  // split_shard_ranges over shard_count() partition the full matcher:
+  // per-range sizes sum to the full size and exactly one range answers
+  // true for any indexed key, so distributed per-range match counts merge
+  // by plain addition.
+  MappedMatcher(const std::string& index_path, std::size_t shard_begin,
+                std::size_t shard_end);
+
   bool contains(const std::string& password) const override;
   std::size_t test_set_size() const override { return key_count_; }
   std::string name() const override;
@@ -146,6 +158,8 @@ class MappedMatcher : public Matcher {
                       std::vector<char>& out) const override;
 
   std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_begin() const { return shard_begin_; }
+  std::size_t shard_end() const { return shard_end_; }
   std::size_t file_bytes() const { return file_.size(); }
   const std::string& path() const { return file_.path(); }
 
@@ -163,6 +177,10 @@ class MappedMatcher : public Matcher {
   util::MmapFile file_;
   std::vector<ShardView> shards_;
   std::size_t key_count_ = 0;
+  // Active shard range [begin, end); the full-matcher constructor covers
+  // every shard.
+  std::size_t shard_begin_ = 0;
+  std::size_t shard_end_ = 0;
 };
 
 }  // namespace passflow::guessing

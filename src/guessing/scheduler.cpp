@@ -18,6 +18,28 @@
 
 namespace passflow::guessing {
 
+std::vector<ShardRange> split_shard_ranges(std::size_t shard_count,
+                                           std::size_t parts) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("split_shard_ranges: shard_count is zero");
+  }
+  if (parts == 0) {
+    throw std::invalid_argument("split_shard_ranges: parts is zero");
+  }
+  parts = std::min(parts, shard_count);
+  const std::size_t base = shard_count / parts;
+  const std::size_t remainder = shard_count % parts;
+  std::vector<ShardRange> ranges;
+  ranges.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::size_t size = base + (i < remainder ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
 namespace {
 
 constexpr char kStateMagic[] = "PFSCHD1\n";

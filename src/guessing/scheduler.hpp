@@ -144,6 +144,22 @@ struct ScenarioOptions {
   double rate_cap = 0.0;
 };
 
+// Half-open shard interval [begin, end) of a sharded matcher (a
+// MappedMatcher's on-disk extents, a ShardedMatcher's partitions).
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+// Balanced contiguous split of [0, shard_count) into min(parts,
+// shard_count) non-empty ranges — the unit of work the distributed
+// coordinator hands to workers when one scenario's matcher is divided
+// across processes. Earlier ranges take the remainder shards, so sizes
+// differ by at most one. Throws std::invalid_argument when either count
+// is zero.
+std::vector<ShardRange> split_shard_ranges(std::size_t shard_count,
+                                           std::size_t parts);
+
 // Point-in-time copy of one scenario's public state; safe to hold after
 // the scheduler moves on (nothing refers back into the scheduler).
 struct ScenarioSnapshot {

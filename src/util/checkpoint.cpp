@@ -37,6 +37,10 @@ constexpr std::size_t kHeaderBytes = 8 + 8 + 8;
 // CRC (stored as u64) + end magic.
 constexpr std::size_t kFooterBytes = 8 + 8;
 constexpr std::size_t kGenerationDigits = 8;
+// Plausibility cap for the payload-length field: a bit-flipped length must
+// become a clean error, not a multi-gigabyte allocation. Matches the
+// serial_io convention (io::kMaxSerializedLength).
+constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 
 std::uint64_t load_u64le(const char* p) {
   std::uint64_t v = 0;
@@ -160,8 +164,14 @@ void CheckpointWriter::commit() {
   if (committed_) {
     throw std::logic_error("CheckpointWriter::commit called twice");
   }
-  const std::string payload = payload_.str();
+  publish_file(temp_path_, final_path_,
+               encode_checkpoint_frame(payload_.str()));
+  committed_ = true;
+}
 
+// ---- frame codec -----------------------------------------------------------
+
+std::string encode_checkpoint_frame(const std::string& payload) {
   std::string frame;
   frame.reserve(kHeaderBytes + payload.size() + kFooterBytes);
   frame.append(kMagic, sizeof(kMagic));
@@ -176,51 +186,69 @@ void CheckpointWriter::commit() {
   const std::uint64_t crc = crc32(frame.data(), frame.size());
   frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
   frame.append(kEndMagic, sizeof(kEndMagic));
-
-  publish_file(temp_path_, final_path_, frame);
-  committed_ = true;
+  return frame;
 }
 
-// ---- frame validation ------------------------------------------------------
+std::string CheckpointStore::read_frame(std::istream& in,
+                                        const std::string& context) {
+  char header[kHeaderBytes];
+  in.read(header, kHeaderBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    throw std::runtime_error(context + ": truncated (" +
+                             std::to_string(in.gcount()) +
+                             " header bytes)");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(context + ": bad magic");
+  }
+  const std::uint64_t version = load_u64le(header + 8);
+  if (version != kFormatVersion) {
+    throw std::runtime_error(context + ": unsupported format version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t payload_bytes = load_u64le(header + 16);
+  if (payload_bytes > kMaxFramePayload) {
+    throw std::runtime_error(context + ": implausible payload length " +
+                             std::to_string(payload_bytes));
+  }
+  std::string rest(static_cast<std::size_t>(payload_bytes) + kFooterBytes,
+                   '\0');
+  in.read(rest.data(), static_cast<std::streamsize>(rest.size()));
+  if (in.gcount() != static_cast<std::streamsize>(rest.size())) {
+    throw std::runtime_error(
+        context + ": truncated (header says " +
+        std::to_string(payload_bytes) + " payload bytes, stream ends " +
+        std::to_string(rest.size() - static_cast<std::size_t>(in.gcount())) +
+        " bytes early)");
+  }
+  const std::uint64_t stored_crc = load_u64le(rest.data() + payload_bytes);
+  const std::uint64_t actual_crc =
+      crc32(rest.data(), payload_bytes, crc32(header, kHeaderBytes));
+  if (stored_crc != actual_crc) {
+    throw std::runtime_error(context + ": checksum mismatch");
+  }
+  if (std::memcmp(rest.data() + payload_bytes + 8, kEndMagic,
+                  sizeof(kEndMagic)) != 0) {
+    throw std::runtime_error(context + ": bad trailer");
+  }
+  rest.resize(static_cast<std::size_t>(payload_bytes));
+  return rest;
+}
 
 std::string CheckpointStore::read_frame_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     throw std::runtime_error("checkpoint " + path + ": cannot open");
   }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (bytes.size() < kHeaderBytes + kFooterBytes) {
-    throw std::runtime_error("checkpoint " + path + ": truncated (" +
-                             std::to_string(bytes.size()) + " bytes)");
-  }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("checkpoint " + path + ": bad magic");
-  }
-  const std::uint64_t version = load_u64le(bytes.data() + 8);
-  if (version != kFormatVersion) {
+  std::string payload = read_frame(in, "checkpoint " + path);
+  // A file must hold exactly one frame: bytes past the footer mean a torn
+  // or doubled write, which the stream reader (built for back-to-back
+  // socket frames) deliberately does not police.
+  if (in.peek() != std::char_traits<char>::eof()) {
     throw std::runtime_error("checkpoint " + path +
-                             ": unsupported format version " +
-                             std::to_string(version));
+                             ": trailing garbage after frame");
   }
-  const std::uint64_t payload_bytes = load_u64le(bytes.data() + 16);
-  if (payload_bytes != bytes.size() - kHeaderBytes - kFooterBytes) {
-    throw std::runtime_error(
-        "checkpoint " + path + ": length mismatch (header says " +
-        std::to_string(payload_bytes) + " payload bytes, file holds " +
-        std::to_string(bytes.size() - kHeaderBytes - kFooterBytes) + ")");
-  }
-  const std::size_t footer_at = kHeaderBytes + payload_bytes;
-  const std::uint64_t stored_crc = load_u64le(bytes.data() + footer_at);
-  const std::uint64_t actual_crc = crc32(bytes.data(), footer_at);
-  if (stored_crc != actual_crc) {
-    throw std::runtime_error("checkpoint " + path + ": checksum mismatch");
-  }
-  if (std::memcmp(bytes.data() + footer_at + 8, kEndMagic,
-                  sizeof(kEndMagic)) != 0) {
-    throw std::runtime_error("checkpoint " + path + ": bad trailer");
-  }
-  return bytes.substr(kHeaderBytes, payload_bytes);
+  return payload;
 }
 
 // ---- CheckpointStore -------------------------------------------------------

@@ -44,6 +44,13 @@ namespace passflow::util {
 // chains: pass a previous return value to extend a running checksum.
 std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0);
 
+// Seals `payload` into one framed blob: magic, format version, payload
+// length, payload, CRC-32 over header + payload, end magic. This is the
+// exact byte layout CheckpointWriter publishes to disk; the distributed
+// transport (src/dist/) reuses it verbatim as its wire framing so every
+// socket byte gets the same validation as every checkpoint byte.
+std::string encode_checkpoint_frame(const std::string& payload);
+
 // Stages one framed checkpoint file: stream the payload into stream(), then
 // commit() seals the frame (header + CRC footer), fsyncs and atomically
 // renames onto `final_path`. Destruction without commit() removes the temp
@@ -112,8 +119,20 @@ class CheckpointStore {
 
   // Validates one frame file end to end and returns its payload. Throws
   // std::runtime_error naming the defect: bad magic, unsupported format
-  // version, truncated/oversized file, checksum mismatch, bad trailer.
+  // version, truncated/oversized file, checksum mismatch, bad trailer,
+  // trailing garbage after the frame.
   static std::string read_frame_file(const std::string& path);
+
+  // Validates and consumes exactly ONE frame from `in` (header, payload,
+  // CRC footer, end magic) and returns the payload, leaving the stream
+  // positioned on the byte after the frame so back-to-back frames — a
+  // socket conversation — parse with repeated calls. Payload lengths
+  // beyond 1 GiB are rejected as implausible before anything allocates
+  // from them. Throws std::runtime_error prefixed with `context` naming
+  // the defect. Shared by the file loader above and the dist transport.
+  static std::string read_frame(std::istream& in,
+                                const std::string& context =
+                                    "checkpoint frame");
 
  private:
   std::string generation_path(std::uint64_t seq) const;

@@ -1,0 +1,481 @@
+// Multi-process integration suite for the distributed fleet: a coordinator
+// in the test process, worker processes forked around it, everything over
+// real localhost sockets. The load-bearing property throughout is the
+// bitwise guarantee: per-scenario metrics (checkpoint counters, matched
+// password lists, merged sketch registers) from a distributed run equal a
+// single-process AttackScheduler/AttackSession run of the same scenarios —
+// including when a worker is SIGKILLed mid-attack and its assignment is
+// thawed from the last received checkpoint on a survivor.
+//
+// Fork discipline (same as crash_recovery_test): the parent is
+// single-threaded at every fork() (the coordinator runs inline, no pools),
+// children never touch gtest, communicate exit status only, and die by
+// _exit so no destructors or buffers replay.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/framing.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "dist/worker.hpp"
+#include "guessing/mapped_matcher.hpp"
+#include "guessing/matcher.hpp"
+#include "guessing/reference_harness.hpp"
+#include "guessing/scheduler.hpp"
+#include "guessing/session.hpp"
+#include "util/cardinality_sketch.hpp"
+#include "util/checkpoint.hpp"
+#include "util/timer.hpp"
+
+namespace passflow::dist {
+namespace {
+
+using guessing::testing::MixingGenerator;
+
+// Matcher keys that the mixing stream can hit: "g<v>" for v in [0, period)
+// stepping by `stride`.
+std::vector<std::string> target_keys(std::size_t period, std::size_t stride) {
+  std::vector<std::string> keys;
+  for (std::size_t v = 0; v < period; v += stride) {
+    keys.push_back("g" + std::to_string(v));
+  }
+  return keys;
+}
+
+// The one deterministic spec resolver every worker (and scenario author)
+// in this suite shares — the distributed analogue of the crash suite's
+// ScenarioResolver. Two workers given the same spec bind bit-identical
+// generators/matchers, which is what makes reassignment lossless.
+//   generator: "mixing:<period>"
+//   matcher:   "targets:<period>:<stride>"  (HashSetMatcher)
+//              "index:<path>"               (MappedMatcher; shard range
+//                                            applied when non-zero)
+WorkerBinding fleet_factory(const AssignedScenario& scenario) {
+  WorkerBinding binding;
+  const std::string& gen = scenario.generator_spec;
+  if (gen.rfind("mixing:", 0) == 0) {
+    binding.generator =
+        std::make_unique<MixingGenerator>(std::stoull(gen.substr(7)));
+  } else {
+    throw std::invalid_argument("fleet_factory: unknown generator spec " +
+                                gen);
+  }
+  const std::string& match = scenario.matcher_spec;
+  if (match.rfind("targets:", 0) == 0) {
+    const std::string rest = match.substr(8);
+    const std::size_t colon = rest.find(':');
+    binding.matcher = std::make_shared<guessing::HashSetMatcher>(target_keys(
+        std::stoull(rest.substr(0, colon)),
+        std::stoull(rest.substr(colon + 1))));
+  } else if (match.rfind("index:", 0) == 0) {
+    const std::string path = match.substr(6);
+    if (scenario.shard_end > 0) {
+      binding.matcher = std::make_shared<guessing::MappedMatcher>(
+          path, scenario.shard_begin, scenario.shard_end);
+    } else {
+      binding.matcher = std::make_shared<guessing::MappedMatcher>(path);
+    }
+  } else {
+    throw std::invalid_argument("fleet_factory: unknown matcher spec " +
+                                match);
+  }
+  return binding;
+}
+
+// Child body: serve until Shutdown, then exit 0. Exit 41 marks any error —
+// the parent's waitpid assertions turn that into a test failure.
+[[noreturn]] void worker_child(std::uint16_t port, const char* label) {
+  WorkerConfig config;
+  config.port = port;
+  config.label = label;
+  config.heartbeat_interval_seconds = 0.05;
+  config.reconnect.initial_delay_seconds = 0.01;
+  config.reconnect.max_delay_seconds = 0.1;
+  config.reconnect.max_attempts = 20;
+  try {
+    Worker worker(config, fleet_factory);
+    worker.run();
+  } catch (const std::exception&) {
+    ::_exit(41);
+  }
+  ::_exit(0);
+}
+
+pid_t spawn_worker(std::uint16_t port, const char* label) {
+  const pid_t pid = ::fork();
+  if (pid == 0) worker_child(port, label);
+  return pid;
+}
+
+void expect_clean_exit(pid_t pid) {
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status))
+      << "worker died by signal instead of exiting (status " << status << ")";
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+}
+
+void expect_killed_by_sigkill(pid_t pid) {
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "worker exited instead of dying by signal (status " << status << ")";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+std::string sketch_bytes(const util::CardinalitySketch& sketch) {
+  std::ostringstream out;
+  sketch.save(out);
+  return out.str();
+}
+
+TEST(DistributedFleet, TwoWorkersTwoScenariosMatchSingleProcessBitwise) {
+  guessing::SessionConfig wide;
+  wide.budget = 20000;
+  wide.chunk_size = 500;
+  wide.checkpoints = {10000, 20000};
+  wide.unique_tracking = guessing::UniqueTracking::kExact;
+
+  guessing::SessionConfig sketchy;
+  sketchy.budget = 18000;
+  sketchy.chunk_size = 600;
+  sketchy.checkpoints = {18000};
+  sketchy.unique_tracking = guessing::UniqueTracking::kSketch;
+  sketchy.sketch_precision_bits = 14;
+
+  CoordinatorConfig config;
+  config.checkpoint_chunks = 4;
+  Coordinator coordinator(config);
+
+  DistScenario first;
+  first.name = "wide";
+  first.generator_spec = "mixing:16384";
+  first.matcher_spec = "targets:16384:7";
+  first.session = wide;
+  const std::size_t wide_id = coordinator.add_scenario(first);
+
+  DistScenario second;
+  second.name = "sketchy";
+  second.generator_spec = "mixing:4096";
+  second.matcher_spec = "targets:4096:5";
+  second.session = sketchy;
+  const std::size_t sketchy_id = coordinator.add_scenario(second);
+
+  const pid_t worker_a = spawn_worker(coordinator.port(), "a");
+  ASSERT_NE(worker_a, -1);
+  const pid_t worker_b = spawn_worker(coordinator.port(), "b");
+  ASSERT_NE(worker_b, -1);
+
+  coordinator.run();
+  expect_clean_exit(worker_a);
+  expect_clean_exit(worker_b);
+
+  // The same fleet in one process, through AttackScheduler.
+  MixingGenerator wide_generator(16384), sketchy_generator(4096);
+  guessing::HashSetMatcher wide_matcher(target_keys(16384, 7));
+  guessing::HashSetMatcher sketchy_matcher(target_keys(4096, 5));
+  guessing::AttackScheduler scheduler;
+  guessing::ScenarioOptions wide_options;
+  wide_options.name = "wide";
+  wide_options.session = wide;
+  const std::size_t local_wide =
+      scheduler.add_scenario(wide_generator, wide_matcher, wide_options);
+  guessing::ScenarioOptions sketchy_options;
+  sketchy_options.name = "sketchy";
+  sketchy_options.session = sketchy;
+  const std::size_t local_sketchy = scheduler.add_scenario(
+      sketchy_generator, sketchy_matcher, sketchy_options);
+  while (scheduler.step()) {
+  }
+
+  const ScenarioOutcome& wide_out = coordinator.outcome(wide_id);
+  EXPECT_TRUE(wide_out.complete);
+  EXPECT_EQ(wide_out.parts, 1u);
+  EXPECT_EQ(wide_out.reassignments, 0u);
+  EXPECT_EQ(wide_out.test_set_size, wide_matcher.test_set_size());
+  PF_EXPECT_SAME_RUN(scheduler.result(local_wide), wide_out.result);
+
+  const ScenarioOutcome& sketchy_out = coordinator.outcome(sketchy_id);
+  PF_EXPECT_SAME_RUN(scheduler.result(local_sketchy), sketchy_out.result);
+
+  // Merged sketch registers must be bitwise the single-process ones.
+  for (const std::size_t id : {wide_id, sketchy_id}) {
+    const ScenarioOutcome& outcome = coordinator.outcome(id);
+    ASSERT_TRUE(outcome.sketch_valid) << outcome.name;
+    MixingGenerator generator(id == wide_id ? 16384 : 4096);
+    const guessing::HashSetMatcher& matcher =
+        id == wide_id ? wide_matcher : sketchy_matcher;
+    guessing::AttackSession session(generator, matcher,
+                                    id == wide_id ? wide : sketchy);
+    while (session.step()) {
+    }
+    util::CardinalitySketch expected(14);
+    ASSERT_TRUE(session.merge_unique_sketch(expected));
+    EXPECT_EQ(sketch_bytes(outcome.sketch), sketch_bytes(expected))
+        << outcome.name;
+  }
+
+  const CoordinatorStats stats = coordinator.stats();
+  EXPECT_EQ(stats.workers_registered, 2u);
+  EXPECT_EQ(stats.tasks, 2u);
+  EXPECT_EQ(stats.tasks_done, 2u);
+  EXPECT_EQ(stats.produced, wide.budget + sketchy.budget);
+  EXPECT_GT(stats.matched, 0u);
+  EXPECT_TRUE(stats.unique_union_valid);
+  EXPECT_GT(stats.unique_union, 0u);
+}
+
+TEST(DistributedFleet, KilledWorkerIsReassignedFromCheckpointAndStillMatches) {
+  guessing::SessionConfig session;
+  session.budget = 2000000;
+  session.chunk_size = 2000;
+  session.checkpoints = {1000000, 2000000};
+  session.unique_tracking = guessing::UniqueTracking::kSketch;
+  session.sketch_precision_bits = 14;
+
+  CoordinatorConfig config;
+  config.checkpoint_chunks = 8;  // freeze every 16k guesses
+  Coordinator coordinator(config);
+
+  DistScenario scenario;
+  scenario.name = "survivor";
+  scenario.generator_spec = "mixing:8192";
+  scenario.matcher_spec = "targets:8192:3";
+  scenario.session = session;
+  const std::size_t sid = coordinator.add_scenario(scenario);
+
+  const pid_t worker_a = spawn_worker(coordinator.port(), "victim-or-not");
+  ASSERT_NE(worker_a, -1);
+  const pid_t worker_b = spawn_worker(coordinator.port(), "survivor");
+  ASSERT_NE(worker_b, -1);
+
+  // Pump until the assigned worker has shipped a few session freezes, then
+  // SIGKILL it mid-attack — no destructors, no goodbye frame.
+  while (!coordinator.finished() && coordinator.checkpoints_received(sid) < 3) {
+    coordinator.poll_once(20);
+  }
+  ASSERT_FALSE(coordinator.finished())
+      << "fleet finished before the kill point; grow the budget";
+  const std::uint64_t victim_pid = coordinator.assigned_worker_pid(sid);
+  ASSERT_NE(victim_pid, 0u);
+  ASSERT_TRUE(victim_pid == static_cast<std::uint64_t>(worker_a) ||
+              victim_pid == static_cast<std::uint64_t>(worker_b));
+  ::kill(static_cast<pid_t>(victim_pid), SIGKILL);
+  expect_killed_by_sigkill(static_cast<pid_t>(victim_pid));
+
+  coordinator.run();
+  const pid_t survivor = victim_pid == static_cast<std::uint64_t>(worker_a)
+                             ? worker_b
+                             : worker_a;
+  expect_clean_exit(survivor);
+
+  const ScenarioOutcome& outcome = coordinator.outcome(sid);
+  EXPECT_GE(outcome.reassignments, 1u);
+  EXPECT_GE(coordinator.stats().workers_lost, 1u);
+
+  // Thawed-on-a-survivor metrics must equal a never-interrupted run.
+  MixingGenerator generator(8192);
+  guessing::HashSetMatcher matcher(target_keys(8192, 3));
+  guessing::AttackSession reference(generator, matcher, session);
+  while (reference.step()) {
+  }
+  PF_EXPECT_SAME_RUN(reference.result(), outcome.result);
+
+  util::CardinalitySketch expected(14);
+  ASSERT_TRUE(reference.merge_unique_sketch(expected));
+  ASSERT_TRUE(outcome.sketch_valid);
+  EXPECT_EQ(sketch_bytes(outcome.sketch), sketch_bytes(expected));
+}
+
+TEST(DistributedFleet, ShardSplitScenarioMatchesWholeMatcherRun) {
+  const std::string index_path =
+      ::testing::TempDir() + "pf_dist_split.pfidx";
+  guessing::IndexBuilderConfig build_config;
+  build_config.num_shards = 8;
+  guessing::IndexBuilder::build(target_keys(4096, 3), index_path,
+                                build_config);
+
+  guessing::SessionConfig session;
+  session.budget = 12000;
+  session.chunk_size = 400;
+  session.checkpoints = {6000, 12000};
+  session.unique_tracking = guessing::UniqueTracking::kExact;
+
+  CoordinatorConfig config;
+  config.checkpoint_chunks = 4;
+  Coordinator coordinator(config);
+
+  DistScenario scenario;
+  scenario.name = "split";
+  scenario.generator_spec = "mixing:4096";
+  scenario.matcher_spec = "index:" + index_path;
+  scenario.session = session;
+  scenario.shard_splits = 2;
+  scenario.shard_count = 8;
+  const std::size_t sid = coordinator.add_scenario(scenario);
+
+  const pid_t worker_a = spawn_worker(coordinator.port(), "left");
+  ASSERT_NE(worker_a, -1);
+  const pid_t worker_b = spawn_worker(coordinator.port(), "right");
+  ASSERT_NE(worker_b, -1);
+
+  coordinator.run();
+  expect_clean_exit(worker_a);
+  expect_clean_exit(worker_b);
+
+  // Whole-matcher single-process reference.
+  MixingGenerator generator(4096);
+  auto matcher = std::make_shared<guessing::MappedMatcher>(index_path);
+  guessing::AttackSession reference(generator, guessing::MatcherRef(matcher),
+                                    session);
+  while (reference.step()) {
+  }
+  const guessing::RunResult expected = reference.result();
+
+  const ScenarioOutcome& outcome = coordinator.outcome(sid);
+  EXPECT_EQ(outcome.parts, 2u);
+  EXPECT_EQ(outcome.test_set_size, matcher->test_set_size());
+  ASSERT_EQ(outcome.result.checkpoints.size(), expected.checkpoints.size());
+  for (std::size_t i = 0; i < expected.checkpoints.size(); ++i) {
+    EXPECT_EQ(outcome.result.checkpoints[i].guesses,
+              expected.checkpoints[i].guesses);
+    EXPECT_EQ(outcome.result.checkpoints[i].unique,
+              expected.checkpoints[i].unique);
+    EXPECT_EQ(outcome.result.checkpoints[i].matched,
+              expected.checkpoints[i].matched);
+    EXPECT_DOUBLE_EQ(outcome.result.checkpoints[i].matched_percent,
+                     expected.checkpoints[i].matched_percent);
+  }
+  // Each part reports its matches in stream order; across parts the merge
+  // concatenates in part order, so compare as multisets.
+  std::vector<std::string> got = outcome.result.matched_passwords;
+  std::vector<std::string> want = expected.matched_passwords;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+
+  // Register-max union of the two parts == the whole run's sketch.
+  ASSERT_TRUE(outcome.sketch_valid);
+  util::CardinalitySketch expected_sketch(14);
+  ASSERT_TRUE(reference.merge_unique_sketch(expected_sketch));
+  EXPECT_EQ(sketch_bytes(outcome.sketch), sketch_bytes(expected_sketch));
+
+  std::remove(index_path.c_str());
+}
+
+TEST(DistributedFleet, SilentWorkerIsBuriedOnHeartbeatTimeoutAndRequeued) {
+  CoordinatorConfig config;
+  config.heartbeat_timeout_seconds = 0.2;
+  Coordinator coordinator(config);
+
+  DistScenario scenario;
+  scenario.name = "stalled";
+  scenario.generator_spec = "mixing:4096";
+  scenario.matcher_spec = "targets:4096:5";
+  scenario.session.budget = 10000;
+  const std::size_t sid = coordinator.add_scenario(scenario);
+
+  // A hand-rolled client that registers, accepts the assignment, then goes
+  // silent — a wedged worker whose socket stays open.
+  Connection ghost = connect_to("127.0.0.1", coordinator.port());
+  HelloMsg hello;
+  hello.pid = 999999;
+  hello.label = "ghost";
+  send_message(ghost, hello);
+
+  util::Timer deadline;
+  while (coordinator.assigned_worker_pid(sid) == 0 &&
+         deadline.elapsed_seconds() < 5.0) {
+    coordinator.poll_once(10);
+  }
+  ASSERT_EQ(coordinator.assigned_worker_pid(sid), 999999u);
+  EXPECT_TRUE(std::holds_alternative<WelcomeMsg>(recv_message(ghost)));
+  EXPECT_TRUE(std::holds_alternative<AssignMsg>(recv_message(ghost)));
+
+  deadline.reset();
+  while (coordinator.stats().workers_lost == 0 &&
+         deadline.elapsed_seconds() < 5.0) {
+    coordinator.poll_once(20);
+  }
+  EXPECT_EQ(coordinator.stats().workers_lost, 1u);
+  EXPECT_GE(coordinator.stats().reassignments, 1u);
+  // The task is pending again, waiting for a live worker.
+  EXPECT_EQ(coordinator.assigned_worker_pid(sid), 0u);
+  EXPECT_FALSE(coordinator.finished());
+}
+
+TEST(DistributedTransport, FramesRoundTripBothWays) {
+  Listener listener;
+  Connection dialed = connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(listener.pending(1000));
+  Connection accepted = listener.accept_connection();
+
+  const std::string binary_payload("ping \0 payload", 14);
+  dialed.send_frame(binary_payload);
+  accepted.send_frame(std::string(100000, '\x7e'));  // spans several reads
+  EXPECT_EQ(accepted.recv_frame(), binary_payload);
+  EXPECT_EQ(dialed.recv_frame(), std::string(100000, '\x7e'));
+
+  // Back-to-back frames delivered in one segment: after the first
+  // recv_frame the second sits in the streambuf where poll() cannot see
+  // it; readable() must still report it.
+  const std::string two_frames = util::encode_checkpoint_frame("first") +
+                                 util::encode_checkpoint_frame("second");
+  ASSERT_EQ(::send(dialed.fd(), two_frames.data(), two_frames.size(), 0),
+            static_cast<ssize_t>(two_frames.size()));
+  EXPECT_EQ(accepted.recv_frame(), "first");
+  EXPECT_TRUE(accepted.has_buffered());
+  EXPECT_TRUE(accepted.readable(0));
+  EXPECT_EQ(accepted.recv_frame(), "second");
+}
+
+TEST(DistributedTransport, RawGarbageOnTheWireIsRejectedLoudly) {
+  Listener listener;
+  Connection dialed = connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(listener.pending(1000));
+  Connection accepted = listener.accept_connection();
+
+  const std::string garbage = "definitely not a CRC frame";
+  ASSERT_EQ(::send(dialed.fd(), garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  dialed.close();  // EOF after the garbage
+  EXPECT_THROW(accepted.recv_frame(), std::runtime_error);
+}
+
+TEST(DistributedTransport, PeerEofIsALoudErrorNotAnEmptyFrame) {
+  Listener listener;
+  Connection dialed = connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(listener.pending(1000));
+  Connection accepted = listener.accept_connection();
+  dialed.close();
+  EXPECT_TRUE(accepted.readable(1000));  // EOF counts as readable
+  EXPECT_THROW(accepted.recv_frame(), std::runtime_error);
+}
+
+#else  // !unix
+
+TEST(DistributedFleet, RequiresPosix) {
+  GTEST_SKIP() << "the socket transport and fork harness require POSIX";
+}
+
+#endif
+
+}  // namespace
+}  // namespace passflow::dist

@@ -1,0 +1,270 @@
+// Protocol-framing corruption suite for the coordinator<->worker wire
+// format, in the style of the session-state error suite: one captured
+// valid exchange, then systematic damage. Properties under test:
+//
+//  * Truncation at EVERY byte length either throws or yields a strict
+//    prefix of the exchange (a clean stop is only legal at an exact frame
+//    boundary) — a torn read never produces a wrong or extra message.
+//  * A single bit flipped ANYWHERE makes some frame throw, and every frame
+//    before the damaged one still decodes identically — CRC32 detects all
+//    single-bit errors, so a corrupt frame can never merge silently.
+//  * The golden fixtures in tests/fixtures/dist/ keep being rejected with
+//    the same message class for as long as frame format PFCKPT1 exists,
+//    and valid_exchange.bin pins the wire bytes (encoder drift is loud).
+//
+// Fixtures are deterministic functions of the encoder, so a missing file
+// is seeded on first run (then committed); a present file is authoritative.
+#include "dist/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/checkpoint.hpp"
+
+namespace passflow::dist {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(PASSFLOW_TEST_FIXTURE_DIR) + "/dist/" + name;
+}
+
+// Reads the named fixture; when absent, seeds it with `expected` so the
+// suite can regenerate its own corpus after an intentional format bump.
+std::string load_or_seed(const std::string& name, const std::string& expected) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  if (in.is_open()) {
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return bytes.str();
+  }
+  std::ofstream out(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(out.is_open()) << "cannot seed fixture " << name;
+  out.write(expected.data(), static_cast<std::streamsize>(expected.size()));
+  return expected;
+}
+
+// A representative coordinator<->worker conversation: handshake, an
+// assignment carrying opaque resume bytes, liveness, a frozen session
+// checkpoint, the result with its sketch, and shutdown. Deterministic —
+// these exact bytes are pinned by valid_exchange.bin.
+std::vector<Message> captured_exchange() {
+  HelloMsg hello;
+  hello.pid = 4242;
+  hello.label = "worker-gold";
+
+  AssignMsg assign;
+  assign.task_id = 1;
+  assign.scenario_id = 0;
+  assign.name = "golden scenario";
+  assign.generator_spec = "mixing:4096";
+  assign.matcher_spec = "set:512";
+  assign.session.budget = 9000;
+  assign.session.chunk_size = 300;
+  assign.session.checkpoints = {3000, 9000};
+  assign.shard_begin = 0;
+  assign.shard_end = 0;
+  assign.checkpoint_chunks = 4;
+  assign.union_precision_bits = 14;
+  assign.resume_state = std::string("\x00\x01opaque\xff resume bytes", 22);
+
+  CheckpointMsg checkpoint;
+  checkpoint.task_id = 1;
+  checkpoint.state = std::string("frozen\x00session\x7f", 15);
+
+  ResultMsg result;
+  result.task_id = 1;
+  result.test_set_size = 512;
+  result.sketch = std::string(64, '\x02');
+  guessing::Checkpoint cp;
+  cp.guesses = 9000;
+  cp.unique = 8100;
+  cp.matched = 33;
+  cp.matched_percent = 100.0 * 33 / 512;
+  result.result.checkpoints = {cp};
+  result.result.matched_passwords = {"g7", "g77"};
+  result.result.seconds = 0.5;
+
+  return {hello,          WelcomeMsg{1}, assign,        HeartbeatMsg{3000},
+          checkpoint,     result,        ShutdownMsg{}};
+}
+
+std::string frame_bytes(const std::vector<Message>& messages) {
+  std::string bytes;
+  for (const auto& message : messages) {
+    bytes += util::encode_checkpoint_frame(encode(message));
+  }
+  return bytes;
+}
+
+// Decodes frames until EOF or error. On error, `out` holds every message
+// decoded before it and the exception propagates.
+std::vector<Message> read_messages(const std::string& bytes,
+                                   std::vector<Message>* out = nullptr) {
+  std::vector<Message> local;
+  std::vector<Message>& messages = out ? *out : local;
+  std::istringstream in(bytes);
+  while (in.peek() != std::char_traits<char>::eof()) {
+    messages.push_back(
+        decode(util::CheckpointStore::read_frame(in, "dist frame")));
+  }
+  return messages;
+}
+
+bool same_message(const Message& a, const Message& b) {
+  return encode(a) == encode(b);
+}
+
+void expect_message_prefix(const std::vector<Message>& got,
+                           const std::vector<Message>& expected,
+                           const std::string& what) {
+  ASSERT_LE(got.size(), expected.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(same_message(got[i], expected[i]))
+        << what << ": message " << i << " diverged ("
+        << message_name(got[i]) << " vs " << message_name(expected[i]) << ")";
+  }
+}
+
+void expect_rejected(const std::string& bytes, const std::string& needle,
+                     const std::string& what) {
+  std::istringstream in(bytes);
+  try {
+    decode(util::CheckpointStore::read_frame(in, "dist frame"));
+    FAIL() << what << ": expected rejection mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << what << ": message was: " << e.what();
+  }
+}
+
+class FramingCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    expected_ = captured_exchange();
+    exchange_ = frame_bytes(expected_);
+    // Frame boundaries: clean truncation stops are legal exactly here.
+    std::string prefix;
+    boundaries_.push_back(0);
+    for (const auto& message : expected_) {
+      prefix += util::encode_checkpoint_frame(encode(message));
+      boundaries_.push_back(prefix.size());
+    }
+  }
+
+  bool at_boundary(std::size_t length) const {
+    for (const std::size_t b : boundaries_) {
+      if (b == length) return true;
+    }
+    return false;
+  }
+
+  std::vector<Message> expected_;
+  std::string exchange_;
+  std::vector<std::size_t> boundaries_;
+};
+
+TEST_F(FramingCorruption, GoldenExchangePinsTheWireBytes) {
+  const std::string golden = load_or_seed("valid_exchange.bin", exchange_);
+  EXPECT_EQ(golden, exchange_)
+      << "wire format drifted from tests/fixtures/dist/valid_exchange.bin — "
+         "a frame or message byte layout changed";
+  const auto messages = read_messages(golden);
+  ASSERT_EQ(messages.size(), expected_.size());
+  expect_message_prefix(messages, expected_, "golden exchange");
+}
+
+TEST_F(FramingCorruption, TruncationAtEveryLengthIsLoudOrAStrictPrefix) {
+  for (std::size_t length = 0; length < exchange_.size(); ++length) {
+    const std::string torn = exchange_.substr(0, length);
+    std::vector<Message> got;
+    bool threw = false;
+    try {
+      read_messages(torn, &got);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    expect_message_prefix(got, expected_,
+                          "truncated at " + std::to_string(length));
+    if (!threw) {
+      // No error is only acceptable when the cut landed exactly between
+      // frames — then the reader saw N intact frames and a clean EOF.
+      EXPECT_TRUE(at_boundary(length))
+          << "silent stop at mid-frame truncation length " << length;
+    }
+  }
+}
+
+TEST_F(FramingCorruption, EverySingleBitFlipIsDetected) {
+  for (std::size_t byte = 0; byte < exchange_.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = exchange_;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      std::vector<Message> got;
+      bool threw = false;
+      try {
+        read_messages(damaged, &got);
+      } catch (const std::runtime_error&) {
+        threw = true;
+      }
+      EXPECT_TRUE(threw) << "bit " << bit << " of byte " << byte
+                         << " flipped without any loud failure";
+      // Frames that end before the damaged byte are untouched and must
+      // decode identically; nothing past the damage may surface.
+      expect_message_prefix(got, expected_,
+                            "bit flip at byte " + std::to_string(byte));
+      std::size_t intact = 0;
+      while (intact + 1 < boundaries_.size() && boundaries_[intact + 1] <= byte) {
+        ++intact;
+      }
+      EXPECT_LE(got.size(), intact)
+          << "a frame containing byte " << byte << " decoded despite damage";
+    }
+  }
+}
+
+TEST_F(FramingCorruption, GoldenCorruptFramesStayRejected) {
+  const std::string valid = util::encode_checkpoint_frame(
+      encode(HeartbeatMsg{12345}));
+
+  std::string bad_magic = valid;
+  bad_magic[0] = 'X';
+  std::string truncated = valid.substr(0, (valid.size() * 3) / 5);
+  std::string bad_crc = valid;
+  bad_crc[24] = static_cast<char>(bad_crc[24] ^ 0x40);  // payload byte
+  std::string bad_trailer = valid;
+  bad_trailer.back() = '?';
+  // An intact frame whose payload is not a protocol message: framing
+  // passes, the decoder must still reject it.
+  std::string unknown_tag =
+      util::encode_checkpoint_frame(std::string(8, '\x63'));
+
+  expect_rejected(load_or_seed("bad_magic.bin", bad_magic), "bad magic",
+                  "bad_magic.bin");
+  expect_rejected(load_or_seed("truncated.bin", truncated), "truncated",
+                  "truncated.bin");
+  expect_rejected(load_or_seed("bad_crc.bin", bad_crc), "checksum mismatch",
+                  "bad_crc.bin");
+  expect_rejected(load_or_seed("bad_trailer.bin", bad_trailer), "bad trailer",
+                  "bad_trailer.bin");
+  expect_rejected(load_or_seed("unknown_tag.bin", unknown_tag), "unknown tag",
+                  "unknown_tag.bin");
+}
+
+TEST_F(FramingCorruption, ImplausibleLengthIsACleanErrorNotAnAllocation) {
+  std::string frame = util::encode_checkpoint_frame(encode(ShutdownMsg{}));
+  // Stamp the payload-length field (bytes 16..24 of the header) with a
+  // value far past the 1 GiB cap: must reject before allocating.
+  const std::uint64_t huge = 1ull << 62;
+  for (std::size_t b = 0; b < 8; ++b) {
+    frame[16 + b] = static_cast<char>((huge >> (8 * b)) & 0xFF);
+  }
+  expect_rejected(frame, "implausible payload length", "length bomb");
+}
+
+}  // namespace
+}  // namespace passflow::dist

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "guessing/scheduler.hpp"
 #include "guessing/session.hpp"
 #include "util/hash.hpp"
 
@@ -165,6 +166,53 @@ TEST(MappedMatcher, RejectsHeaderShorterThanMinimum) {
     out << "PFMIDX1\n";  // magic only, nothing else
   }
   expect_throws_containing([&] { MappedMatcher matcher(path); }, "truncated");
+  std::remove(path.c_str());
+}
+
+// A shard-range view is the unit the distributed coordinator hands to a
+// worker: split_shard_ranges over shard_count() must partition the
+// matcher — sizes sum to the whole, every indexed key answers true in
+// exactly one range — or distributed match counts would double-count or
+// drop keys when the coordinator merges per-range results.
+TEST(MappedMatcher, ShardRangeViewsPartitionTheMatcher) {
+  const auto keys = make_keys(3000);
+  const std::string path = temp_index_path("ranges");
+  IndexBuilderConfig config;
+  config.num_shards = 7;
+  IndexBuilder::build(keys, path, config);
+  const MappedMatcher whole(path);
+  ASSERT_EQ(whole.shard_count(), 7u);
+
+  for (std::size_t parts = 1; parts <= 4; ++parts) {
+    const auto ranges = split_shard_ranges(whole.shard_count(), parts);
+    std::vector<MappedMatcher> views;
+    views.reserve(ranges.size());
+    std::size_t summed = 0;
+    for (const auto& range : ranges) {
+      views.emplace_back(path, range.begin, range.end);
+      summed += views.back().test_set_size();
+    }
+    EXPECT_EQ(summed, whole.test_set_size()) << parts << " parts";
+    for (const auto& key : keys) {
+      std::size_t owners = 0;
+      for (auto& view : views) {
+        if (view.contains(key)) ++owners;
+      }
+      EXPECT_EQ(owners, 1u) << key << " across " << parts << " parts";
+    }
+    // Misses stay misses in every view.
+    for (auto& view : views) EXPECT_FALSE(view.contains("never-indexed"));
+  }
+
+  const MappedMatcher middle(path, 2, 5);
+  EXPECT_EQ(middle.shard_begin(), 2u);
+  EXPECT_EQ(middle.shard_end(), 5u);
+  EXPECT_EQ(middle.name(), "mapped(7)[2,5)");
+  EXPECT_EQ(whole.name(), "mapped(7)");
+
+  EXPECT_THROW(MappedMatcher(path, 3, 3), std::invalid_argument);
+  EXPECT_THROW(MappedMatcher(path, 5, 2), std::invalid_argument);
+  EXPECT_THROW(MappedMatcher(path, 0, 8), std::invalid_argument);
   std::remove(path.c_str());
 }
 

@@ -224,6 +224,59 @@ TEST(CheckpointStore, StrayTempFilesAreNotGenerations) {
   remove_all(store);
 }
 
+// ---- stream read_frame (the dist-transport entry point) -------------------
+//
+// read_frame consumes exactly one frame and leaves the stream on the next
+// byte, which is what lets the socket transport call it back-to-back on a
+// conversation. The file loader wraps it with an extra nothing-after-the-
+// frame check; the stream form must NOT impose that, or the second frame
+// of every conversation would be "trailing garbage".
+
+TEST(ReadFrame, ConsumesBackToBackFramesFromOneStream) {
+  std::istringstream in(encode_checkpoint_frame("first") +
+                        encode_checkpoint_frame(std::string("\0mid\xff", 5)) +
+                        encode_checkpoint_frame(""));
+  EXPECT_EQ(CheckpointStore::read_frame(in, "conversation"), "first");
+  EXPECT_EQ(CheckpointStore::read_frame(in, "conversation"),
+            std::string("\0mid\xff", 5));
+  EXPECT_EQ(CheckpointStore::read_frame(in, "conversation"), "");
+  // Stream is now exhausted: the next read is a loud truncation error
+  // (0 header bytes), never an empty payload.
+  EXPECT_THROW(CheckpointStore::read_frame(in, "conversation"),
+               std::runtime_error);
+}
+
+TEST(ReadFrame, ErrorsCarryTheCallerContext) {
+  std::istringstream in("not a frame at all, certainly no magic");
+  try {
+    CheckpointStore::read_frame(in, "dist frame");
+    FAIL() << "expected a bad-magic error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dist frame"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+  }
+}
+
+TEST(ReadFrame, FileLoaderStillRejectsBytesAfterTheFrame) {
+  // The trailing-bytes check is the FILE loader's own: a checkpoint file
+  // holds one frame, a socket stream holds many.
+  const std::string path = temp_base("two_frames_file");
+  write_file(path, encode_checkpoint_frame("one") +
+                       encode_checkpoint_frame("two"));
+  try {
+    CheckpointStore::read_frame_file(path);
+    FAIL() << "expected a trailing-bytes rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos)
+        << e.what();
+  }
+  std::istringstream in(read_file(path));
+  EXPECT_EQ(CheckpointStore::read_frame(in), "one");
+  EXPECT_EQ(CheckpointStore::read_frame(in), "two");
+  std::remove(path.c_str());
+}
+
 // ---- torn-write / bit-rot sweep -------------------------------------------
 //
 // Every byte of the frame is covered by some validation layer (magic,
