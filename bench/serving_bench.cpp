@@ -1,0 +1,342 @@
+// Credential-screening service bench: reply latency percentiles vs offered
+// load, at micro-batch sizes {1, K}. Emits the JSON recorded in
+// BENCH_serving.json.
+//
+//   ./serving_bench [--dim 6] [--couplings 4] [--hidden 32] [--epochs 8]
+//                   [--corpus 2000] [--keys 2000] [--batch 32]
+//                   [--pending 4096] [--calibration 1024]
+//                   [--loads 500,2000,8000] [--queries 2000]
+//                   [--index-path serving_bench.pfidx]
+//                   [--out BENCH_serving.json]
+//
+// Shape: one StrengthServer thread per arm over a shared tiny trained
+// flow + mapped index; an open-loop client paces single-candidate queries
+// at the offered QPS over one pipelined connection and timestamps each
+// reply (matched by request_id — Overloaded refusals jump the queue).
+// p50/p99 cover Ok replies; refusals are counted, never dropped.
+//
+// Before any arm runs, batched scoring is cross-checked against
+// one-at-a-time scoring over the wire and the bench FAILS (exit 1) on any
+// bitwise divergence — batching may only ever trade latency, not answers.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/alphabet.hpp"
+#include "data/encoder.hpp"
+#include "flow/flow_model.hpp"
+#include "flow/trainer.hpp"
+#include "guessing/mapped_matcher.hpp"
+#include "serve/strength_client.hpp"
+#include "serve/strength_server.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace pf = passflow;
+
+namespace {
+
+std::vector<std::size_t> parse_loads(const std::string& spec) {
+  std::vector<std::size_t> loads;
+  std::stringstream in(spec);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) loads.push_back(std::stoul(token));
+  }
+  return loads;
+}
+
+std::vector<std::string> synthetic_corpus(std::size_t count, std::size_t dim,
+                                          pf::util::Rng& rng) {
+  const std::string chars = "abcdefghijklmnopqrstuvwxyz0123456789";
+  // Zipf-ish repetition so the flow has structure to learn.
+  std::vector<std::string> base;
+  const std::size_t distinct = std::max<std::size_t>(count / 8, 16);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    const std::size_t length = 3 + rng.uniform_index(dim - 2);
+    std::string word;
+    for (std::size_t c = 0; c < length; ++c) {
+      word += chars[rng.uniform_index(chars.size())];
+    }
+    base.push_back(word);
+  }
+  std::vector<std::string> corpus;
+  corpus.reserve(count);
+  pf::util::ZipfSampler zipf(base.size(), 1.05);
+  for (std::size_t i = 0; i < count; ++i) {
+    corpus.push_back(base[zipf.sample(rng)]);
+  }
+  return corpus;
+}
+
+double quantile_ms(std::vector<double> sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const std::size_t n = sorted_seconds.size();
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted_seconds[idx] * 1000.0;
+}
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+struct Arm {
+  std::size_t max_batch = 0;
+  std::size_t offered_qps = 0;
+  double achieved_qps = 0.0;
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pf::util::Flags flags(argc, argv);
+  const auto dim = static_cast<std::size_t>(flags.get_int("dim", 6));
+  const auto couplings =
+      static_cast<std::size_t>(flags.get_int("couplings", 4));
+  const auto hidden = static_cast<std::size_t>(flags.get_int("hidden", 32));
+  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 8));
+  const auto corpus_size =
+      static_cast<std::size_t>(flags.get_int("corpus", 2000));
+  const auto key_count = static_cast<std::size_t>(flags.get_int("keys", 2000));
+  const auto max_batch = static_cast<std::size_t>(flags.get_int("batch", 32));
+  const auto pending =
+      static_cast<std::size_t>(flags.get_int("pending", 4096));
+  const auto calibration =
+      static_cast<std::size_t>(flags.get_int("calibration", 1024));
+  const auto queries =
+      static_cast<std::size_t>(flags.get_int("queries", 2000));
+  const std::vector<std::size_t> loads =
+      parse_loads(flags.get_string("loads", "500,2000,8000"));
+  const std::string index_path =
+      flags.get_string("index-path", "serving_bench.pfidx");
+  const std::string out_path = flags.get_string("out", "");
+
+  if (!pf::dist::transport_available()) {
+    std::fprintf(stderr, "serving_bench: no POSIX transport; skipping\n");
+    return 0;
+  }
+  pf::util::set_log_level(pf::util::LogLevel::kWarn);
+
+  std::printf(
+      "serving_bench: dim=%zu couplings=%zu hidden=%zu epochs=%zu "
+      "keys=%zu batch=%zu queries=%zu\n",
+      dim, couplings, hidden, epochs, key_count, max_batch, queries);
+
+  // ---- setup: tiny trained flow + mapped index -------------------------
+  pf::data::Encoder encoder(pf::data::Alphabet::compact(), dim);
+  pf::util::Rng rng(1234);
+  pf::flow::FlowConfig model_config;
+  model_config.dim = dim;
+  model_config.num_couplings = couplings;
+  model_config.hidden = hidden;
+  model_config.residual_blocks = 1;
+  pf::util::Rng init_rng(23);
+  pf::flow::FlowModel model(model_config, init_rng);
+  const std::vector<std::string> corpus =
+      synthetic_corpus(corpus_size, dim, rng);
+  {
+    pf::flow::TrainConfig train_config;
+    train_config.epochs = epochs;
+    train_config.batch_size = 64;
+    train_config.log_every = 0;
+    train_config.seed = 29;
+    pf::flow::Trainer trainer(model, train_config);
+    pf::util::Timer timer;
+    trainer.train(corpus, encoder);
+    std::printf("  trained in %.2fs\n", timer.elapsed_seconds());
+  }
+  {
+    std::vector<std::string> keys;
+    keys.reserve(key_count);
+    pf::util::Rng key_rng(77);
+    const std::vector<std::string> key_words =
+        synthetic_corpus(key_count, dim, key_rng);
+    keys.assign(key_words.begin(), key_words.end());
+    pf::guessing::IndexBuilder::build(keys, index_path);
+  }
+  const auto matcher =
+      std::make_shared<pf::guessing::MappedMatcher>(index_path);
+
+  // Candidate pool: alternating index members and misses.
+  std::vector<std::string> pool;
+  {
+    pf::util::Rng pool_rng(99);
+    const std::vector<std::string> words =
+        synthetic_corpus(1024, dim, pool_rng);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      pool.push_back(i % 2 == 0 ? words[i] : words[i] + "9");
+    }
+  }
+
+  const auto make_config = [&](std::size_t batch) {
+    pf::serve::StrengthServerConfig config;
+    config.max_batch = batch;
+    config.max_pending_candidates = pending;
+    config.calibration_samples = calibration;
+    return config;
+  };
+
+  // ---- cross-check: batching may never change an answer ----------------
+  {
+    pf::serve::StrengthServer batched(make_config(max_batch), model, encoder,
+                                      matcher);
+    std::thread server_thread([&] { batched.run(); });
+    pf::serve::StrengthClient client("127.0.0.1", batched.port());
+    const std::vector<std::string> sample(pool.begin(), pool.begin() + 64);
+    const pf::dist::StrengthReplyMsg all = client.query(sample);
+    bool identical = all.status == pf::dist::StrengthStatus::kOk &&
+                     all.estimates.size() == sample.size();
+    for (std::size_t i = 0; identical && i < sample.size(); ++i) {
+      const pf::dist::StrengthReplyMsg one = client.query({sample[i]});
+      identical = one.status == pf::dist::StrengthStatus::kOk &&
+                  one.estimates.size() == 1 &&
+                  bits(one.estimates[0].log_prob) ==
+                      bits(all.estimates[i].log_prob) &&
+                  bits(one.estimates[0].guess_number) ==
+                      bits(all.estimates[i].guess_number) &&
+                  one.estimates[0].in_index == all.estimates[i].in_index;
+    }
+    batched.request_stop();
+    server_thread.join();
+    if (!identical) {
+      std::fprintf(
+          stderr,
+          "FATAL: batched strength replies diverged from one-at-a-time\n");
+      std::remove(index_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "  cross-check: 64 batched replies bitwise identical to "
+        "one-at-a-time\n");
+  }
+
+  // ---- arms: {1, K} x offered load -------------------------------------
+  std::vector<Arm> arms;
+  for (const std::size_t batch : {std::size_t{1}, max_batch}) {
+    for (const std::size_t qps : loads) {
+      pf::serve::StrengthServer server(make_config(batch), model, encoder,
+                                       matcher);
+      std::thread server_thread([&] { server.run(); });
+      Arm arm;
+      arm.max_batch = batch;
+      arm.offered_qps = qps;
+      {
+        pf::serve::StrengthClient client("127.0.0.1", server.port());
+        // send_ts[id - 1] = send time of request id (ids are sequential).
+        std::vector<double> send_ts(queries, 0.0);
+        std::vector<double> ok_latency;
+        ok_latency.reserve(queries);
+        pf::util::Timer timer;
+        std::size_t received = 0;
+        while (received < queries) {
+          const double now = timer.elapsed_seconds();
+          bool progressed = false;
+          if (arm.sent < queries &&
+              now >= static_cast<double>(arm.sent) /
+                         static_cast<double>(qps)) {
+            const std::uint64_t id =
+                client.send_query({pool[arm.sent % pool.size()]});
+            send_ts[id - 1] = timer.elapsed_seconds();
+            ++arm.sent;
+            progressed = true;
+          }
+          while (client.reply_ready(0)) {
+            const pf::dist::StrengthReplyMsg reply = client.recv_reply();
+            const double latency =
+                timer.elapsed_seconds() - send_ts[reply.request_id - 1];
+            if (reply.status == pf::dist::StrengthStatus::kOk) {
+              ok_latency.push_back(latency);
+              ++arm.ok;
+            } else {
+              ++arm.overloaded;
+            }
+            ++received;
+            progressed = true;
+          }
+          if (!progressed) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+        }
+        arm.achieved_qps =
+            static_cast<double>(received) / timer.elapsed_seconds();
+        std::sort(ok_latency.begin(), ok_latency.end());
+        arm.p50_ms = quantile_ms(ok_latency, 0.50);
+        arm.p99_ms = quantile_ms(ok_latency, 0.99);
+      }
+      server.request_stop();
+      server_thread.join();
+      const auto& stats = server.stats();
+      arm.mean_batch =
+          stats.batches == 0
+              ? 0.0
+              : static_cast<double>(stats.candidates_scored) /
+                    static_cast<double>(stats.batches);
+      arms.push_back(arm);
+      std::printf(
+          "  batch=%-3zu offered=%6zu qps  achieved=%8.0f  p50=%7.3f ms  "
+          "p99=%7.3f ms  ok=%zu overloaded=%zu  mean_batch=%.2f\n",
+          arm.max_batch, arm.offered_qps, arm.achieved_qps, arm.p50_ms,
+          arm.p99_ms, arm.ok, arm.overloaded, arm.mean_batch);
+    }
+  }
+
+  // ---- JSON record -----------------------------------------------------
+  std::stringstream json;
+  json << "{\n"
+       << "  \"bench\": \"serving_bench\",\n"
+       << "  \"config\": { \"dim\": " << dim << ", \"couplings\": "
+       << couplings << ", \"hidden\": " << hidden << ", \"epochs\": "
+       << epochs << ", \"keys\": " << key_count << ", \"max_batch\": "
+       << max_batch << ", \"max_pending_candidates\": " << pending
+       << ", \"calibration_samples\": " << calibration
+       << ", \"queries_per_arm\": " << queries << " },\n"
+       << "  \"cross_check\": { \"candidates\": 64, "
+          "\"bitwise_identical\": true },\n"
+       << "  \"note\": \"open-loop single-candidate queries over one "
+          "pipelined connection; p50/p99 cover Ok replies; overloaded "
+          "counts admission refusals (loud, never dropped); mean_batch "
+          "shows how many candidates the server coalesced per forward "
+          "pass\",\n"
+       << "  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const Arm& arm = arms[i];
+    json << "    { \"max_batch\": " << arm.max_batch << ", \"offered_qps\": "
+         << arm.offered_qps << ", \"achieved_qps\": "
+         << static_cast<long long>(arm.achieved_qps) << ", \"sent\": "
+         << arm.sent << ", \"ok\": " << arm.ok << ", \"overloaded\": "
+         << arm.overloaded << ", \"p50_ms\": " << arm.p50_ms
+         << ", \"p99_ms\": " << arm.p99_ms << ", \"mean_batch\": "
+         << arm.mean_batch << " }" << (i + 1 < arms.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ]\n"
+       << "}\n";
+
+  std::printf("%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  std::remove(index_path.c_str());
+  return 0;
+}

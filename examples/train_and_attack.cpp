@@ -15,6 +15,7 @@
 //                               [--index targets.pfidx]
 //                               [--coordinator PORT | --worker HOST:PORT]
 //                               [--shard-splits N]
+//                               [--serve PORT] [--serve-batch K]
 //
 // Strategies: static | dynamic | dynamic+gs (Table II rows). --pipeline N
 // keeps N chunks in flight (feedback-free strategies only; dynamic runs
@@ -62,6 +63,14 @@
 // --epochs/--train-size/--guesses would silently attack with a different
 // model. Per-scenario metrics are bitwise identical to the in-process
 // --scenarios run (timing aside); the coordinator itself never trains.
+//
+// --serve PORT skips the attack and instead runs the online
+// credential-screening service: a long-lived StrengthServer on the dist
+// transport answering batched StrengthQuery messages with per-candidate
+// log-likelihood, Monte-Carlo guess numbers and membership in the same
+// matcher the attack would have probed. --serve-batch K bounds how many
+// candidates the server coalesces into one forward pass. SIGINT/SIGTERM
+// stop the service and print its stats. Port 0 picks an ephemeral port.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -82,6 +91,7 @@
 #include "guessing/scheduler.hpp"
 #include "guessing/session.hpp"
 #include "guessing/static_sampler.hpp"
+#include "serve/strength_server.hpp"
 #include "util/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
@@ -185,6 +195,9 @@ int main(int argc, char** argv) {
   const std::string worker_flag = flags.get_string("worker", "");
   const auto shard_splits =
       static_cast<std::size_t>(flags.get_int("shard-splits", 1));
+  const int serve_port = flags.get_int("serve", -1);
+  const auto serve_batch =
+      static_cast<std::size_t>(flags.get_int("serve-batch", 64));
   pf::util::set_log_level(pf::util::LogLevel::kInfo);
 
   if (coordinator_port >= 0 && !worker_flag.empty()) {
@@ -432,6 +445,40 @@ int main(int argc, char** argv) {
   } else {
     matcher = std::make_shared<pf::guessing::HashSetMatcher>(
         split.test_unique);
+  }
+
+  // ---- serve mode: online credential-screening service -----------------
+  // Same trained model, same matcher the attack would probe — but instead
+  // of generating guesses, answer strength queries over the dist transport
+  // until a stop signal arrives.
+  if (serve_port >= 0) {
+    pf::serve::StrengthServerConfig serve_config;
+    serve_config.port = static_cast<std::uint16_t>(serve_port);
+    serve_config.max_batch = serve_batch;
+    serve_config.pool = &pf::util::shared_pool();
+    try {
+      pf::serve::StrengthServer server(serve_config, model, encoder, matcher);
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+      std::printf(
+          "credential-screening service on 127.0.0.1:%u (max_batch=%zu, "
+          "%zu index keys); Ctrl-C to stop\n",
+          server.port(), serve_batch, matcher->test_set_size());
+      while (!g_stop_requested) server.poll_once(200);
+      const auto& serve_stats = server.stats();
+      std::printf(
+          "\nservice stopped: %zu client(s) (%zu dropped), %zu queries "
+          "(%zu refused overloaded), %zu candidates scored in %zu "
+          "batch(es), %zu replies\n",
+          serve_stats.clients_accepted, serve_stats.clients_dropped,
+          serve_stats.queries, serve_stats.overloaded,
+          serve_stats.candidates_scored, serve_stats.batches,
+          serve_stats.replies_sent);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   // ---- fleet mode: a concurrent sweep over one shared matcher ----------

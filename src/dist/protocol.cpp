@@ -23,7 +23,39 @@ enum class Tag : std::uint64_t {
   kCheckpoint = 5,
   kResult = 6,
   kShutdown = 7,
+  kStrengthQuery = 8,
+  kStrengthReply = 9,
 };
+
+// StrengthEstimate booleans travel packed in one flags word so the layout
+// has no padding ambiguity; unknown bits are a decode error, not ignored.
+constexpr std::uint64_t kStrengthFlagInIndex = 1u << 0;
+constexpr std::uint64_t kStrengthFlagRepresentable = 1u << 1;
+constexpr std::uint64_t kStrengthFlagsMask =
+    kStrengthFlagInIndex | kStrengthFlagRepresentable;
+
+void write_strength_estimate(std::ostream& out, const StrengthEstimate& e) {
+  io::write_f64(out, e.log_prob);
+  io::write_f64(out, e.guess_number);
+  std::uint64_t flags = 0;
+  if (e.in_index) flags |= kStrengthFlagInIndex;
+  if (e.representable) flags |= kStrengthFlagRepresentable;
+  io::write_u64(out, flags);
+}
+
+StrengthEstimate read_strength_estimate(std::istream& in) {
+  StrengthEstimate e;
+  e.log_prob = io::read_f64(in);
+  e.guess_number = io::read_f64(in);
+  const std::uint64_t flags = io::read_u64(in);
+  if ((flags & ~kStrengthFlagsMask) != 0) {
+    throw std::runtime_error("dist message: invalid strength flags " +
+                             std::to_string(flags));
+  }
+  e.in_index = (flags & kStrengthFlagInIndex) != 0;
+  e.representable = (flags & kStrengthFlagRepresentable) != 0;
+  return e;
+}
 
 void write_session_config(std::ostream& out,
                           const guessing::SessionConfig& session) {
@@ -147,6 +179,20 @@ struct Encoder {
   void operator()(const ShutdownMsg&) const {
     io::write_u64(out, static_cast<std::uint64_t>(Tag::kShutdown));
   }
+  void operator()(const StrengthQueryMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kStrengthQuery));
+    io::write_u64(out, m.request_id);
+    io::write_string_vec(out, m.candidates);
+  }
+  void operator()(const StrengthReplyMsg& m) const {
+    io::write_u64(out, static_cast<std::uint64_t>(Tag::kStrengthReply));
+    io::write_u64(out, m.request_id);
+    io::write_u64(out, static_cast<std::uint64_t>(m.status));
+    io::write_u64(out, m.estimates.size());
+    for (const StrengthEstimate& e : m.estimates) {
+      write_strength_estimate(out, e);
+    }
+  }
 };
 
 }  // namespace
@@ -160,6 +206,12 @@ const char* message_name(const Message& message) {
     const char* operator()(const CheckpointMsg&) const { return "Checkpoint"; }
     const char* operator()(const ResultMsg&) const { return "Result"; }
     const char* operator()(const ShutdownMsg&) const { return "Shutdown"; }
+    const char* operator()(const StrengthQueryMsg&) const {
+      return "StrengthQuery";
+    }
+    const char* operator()(const StrengthReplyMsg&) const {
+      return "StrengthReply";
+    }
   };
   return std::visit(Namer{}, message);
 }
@@ -230,6 +282,31 @@ Message decode(const std::string& payload) {
     case Tag::kShutdown:
       message = ShutdownMsg{};
       break;
+    case Tag::kStrengthQuery: {
+      StrengthQueryMsg m;
+      m.request_id = io::read_u64(in);
+      m.candidates = io::read_string_vec(in);
+      message = std::move(m);
+      break;
+    }
+    case Tag::kStrengthReply: {
+      StrengthReplyMsg m;
+      m.request_id = io::read_u64(in);
+      const std::uint64_t status = io::read_u64(in);
+      if (status > static_cast<std::uint64_t>(StrengthStatus::kOverloaded)) {
+        throw std::runtime_error("dist message: invalid strength status " +
+                                 std::to_string(status));
+      }
+      m.status = static_cast<StrengthStatus>(status);
+      const std::uint64_t estimate_count =
+          io::read_length(in, "strength estimates");
+      m.estimates.reserve(estimate_count);
+      for (std::uint64_t i = 0; i < estimate_count; ++i) {
+        m.estimates.push_back(read_strength_estimate(in));
+      }
+      message = std::move(m);
+      break;
+    }
     default:
       throw std::runtime_error("dist message: unknown tag " +
                                std::to_string(tag));

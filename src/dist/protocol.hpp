@@ -19,6 +19,15 @@
 //     Heartbeat   ->                  liveness while between checkpoints
 //     Result      ->                  final metrics + sketch for a scenario
 //                 <-  Shutdown        fleet done; worker exits cleanly
+//
+// The credential-screening service (src/serve/) speaks a second
+// conversation over the same transport and framing:
+//
+//   client            server
+//     Hello       ->                  version handshake
+//                 <-  Welcome         assigned client id
+//     StrengthQuery ->                candidate passwords to score
+//                 <-  StrengthReply   per-candidate estimates, or Overloaded
 #pragma once
 
 #include <cstddef>
@@ -91,8 +100,44 @@ struct ResultMsg {
 
 struct ShutdownMsg {};
 
-using Message = std::variant<HelloMsg, WelcomeMsg, AssignMsg, HeartbeatMsg,
-                             CheckpointMsg, ResultMsg, ShutdownMsg>;
+// --- Credential-screening service messages (src/serve/) ---
+
+// One strength request: score every candidate in order. The server may
+// coalesce candidates from many in-flight queries into one model batch;
+// replies still carry exactly this query's candidates (by request_id).
+struct StrengthQueryMsg {
+  std::uint64_t request_id = 0;  // client-chosen; echoed in the reply
+  std::vector<std::string> candidates;
+};
+
+enum class StrengthStatus : std::uint64_t {
+  kOk = 0,
+  // Admission control refused the query (pending-candidate bound hit).
+  // Estimates are empty; the client should back off and retry.
+  kOverloaded = 1,
+};
+
+// Per-candidate answer. `representable` is false when the candidate cannot
+// be encoded for the flow (too long, or bytes outside the alphabet) —
+// log_prob is then -inf and guess_number +inf, but the index membership
+// probe still ran (it is byte-exact and alphabet-agnostic).
+struct StrengthEstimate {
+  double log_prob = 0.0;      // exact flow log p(x) of the encoded candidate
+  double guess_number = 0.0;  // Monte-Carlo estimated rank (1 = most likely)
+  bool in_index = false;      // present in the server's matcher index
+  bool representable = true;
+};
+
+struct StrengthReplyMsg {
+  std::uint64_t request_id = 0;
+  StrengthStatus status = StrengthStatus::kOk;
+  // One per queried candidate, in query order, when status is kOk.
+  std::vector<StrengthEstimate> estimates;
+};
+
+using Message =
+    std::variant<HelloMsg, WelcomeMsg, AssignMsg, HeartbeatMsg, CheckpointMsg,
+                 ResultMsg, ShutdownMsg, StrengthQueryMsg, StrengthReplyMsg>;
 
 // Human-readable tag of the active alternative, for errors and logs.
 const char* message_name(const Message& message);

@@ -1,6 +1,7 @@
 #include "dist/transport.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <stdexcept>
@@ -75,14 +76,40 @@ int send_flags() {
 #endif
 }
 
+// ::poll with EINTR retries that honor the caller's timeout as an absolute
+// steady_clock deadline. A naive `while (EINTR) poll(timeout_ms)` re-arms
+// the FULL wait on every interruption, so a signal-heavy process (itimer
+// profilers, SIGCHLD storms) can block far past — or forever beyond — the
+// requested bound. timeout_ms <= 0 needs no deadline: 0 never blocks and
+// negative waits forever, so a plain retry preserves both meanings.
+int poll_deadline(::pollfd* fds, ::nfds_t count, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    int rc;
+    do {
+      rc = ::poll(fds, count, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    return rc;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int remaining_ms = timeout_ms;
+  while (true) {
+    const int rc = ::poll(fds, count, remaining_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return 0;  // deadline passed mid-retry: timed out
+    // ceil, not truncate: a sub-millisecond remainder must wait ~1ms, not
+    // degrade into a busy-spin of poll(. . ., 0) calls until the deadline.
+    remaining_ms = static_cast<int>(
+        std::chrono::ceil<std::chrono::milliseconds>(deadline - now).count());
+  }
+}
+
 bool poll_readable(int fd, int timeout_ms) {
   ::pollfd pfd{};
   pfd.fd = fd;
   pfd.events = POLLIN;
-  int rc;
-  do {
-    rc = ::poll(&pfd, 1, timeout_ms);
-  } while (rc < 0 && errno == EINTR);
+  const int rc = poll_deadline(&pfd, 1, timeout_ms);
   if (rc < 0) throw_errno("poll failed");
   // POLLHUP/POLLERR also count: the next recv reports the condition.
   return rc > 0;
@@ -278,10 +305,7 @@ bool wait_any_readable(const std::vector<int>& fds, int timeout_ms) {
     pfds.push_back(pfd);
   }
   if (pfds.empty()) return false;
-  int rc;
-  do {
-    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  } while (rc < 0 && errno == EINTR);
+  const int rc = poll_deadline(pfds.data(), pfds.size(), timeout_ms);
   if (rc < 0) throw_errno("poll failed");
   return rc > 0;
 }

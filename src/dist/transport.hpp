@@ -49,7 +49,9 @@ class Connection {
 
   // True when a recv_frame() would make progress without blocking longer
   // than `timeout_ms`: bytes already buffered, readable on the socket, or
-  // a pending EOF/error (which recv_frame then reports loudly).
+  // a pending EOF/error (which recv_frame then reports loudly). The bound
+  // holds as a steady_clock deadline even when signals interrupt the wait
+  // (EINTR retries resume with the remaining time, not the full timeout).
   bool readable(int timeout_ms);
 
   // Bytes already pulled off the socket but not yet consumed by
@@ -108,7 +110,9 @@ Connection connect_to(const std::string& host, std::uint16_t port);
 
 // Blocks up to `timeout_ms` for readability on any of `fds` (entries < 0
 // are ignored); returns true when at least one is readable or hung up.
-// The coordinator's event loop sleeps here across listener + workers.
+// Like Connection::readable, the timeout is a steady_clock deadline that
+// survives EINTR. The coordinator's and strength server's event loops
+// sleep here across listener + connections.
 bool wait_any_readable(const std::vector<int>& fds, int timeout_ms);
 
 }  // namespace passflow::dist

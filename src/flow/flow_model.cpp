@@ -100,8 +100,13 @@ nn::Matrix FlowModel::inverse(const nn::Matrix& z,
 }
 
 std::vector<double> FlowModel::log_prob(const nn::Matrix& x) const {
+  return log_prob_batch(x, nullptr);
+}
+
+std::vector<double> FlowModel::log_prob_batch(const nn::Matrix& x,
+                                              util::ThreadPool* pool) const {
   std::vector<double> log_det;
-  const nn::Matrix z = forward_inference(x, &log_det);
+  const nn::Matrix z = forward_inference(x, &log_det, pool);
   std::vector<double> out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     out[r] = standard_normal_log_density(z.row(r), z.cols()) + log_det[r];

@@ -52,6 +52,15 @@ class FlowModel {
   // Exact log p(x) per sample (Eq. 5 with standard-normal prior).
   std::vector<double> log_prob(const nn::Matrix& x) const;
 
+  // Per-sample log p(x) over a batch, optionally row-chunked across the
+  // pool. Built on forward_inference (allocation-local, never the training
+  // workspaces), so concurrent calls on one model are safe and every row's
+  // value is bitwise identical whether scored alone, inside any batch, or
+  // with any pool size — the guarantee the serving layer's micro-batching
+  // relies on. log_prob() is the serial special case.
+  std::vector<double> log_prob_batch(const nn::Matrix& x,
+                                     util::ThreadPool* pool = nullptr) const;
+
   // Computes mean NLL of the batch (Eq. 7-8), accumulates parameter
   // gradients, and returns the loss. Callers zero_grad + optimizer-step.
   double nll_backward(const nn::Matrix& x);

@@ -1,0 +1,50 @@
+#include "serve/strength_client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace passflow::serve {
+
+StrengthClient::StrengthClient(const std::string& host, std::uint16_t port)
+    : connection_(dist::connect_to(host, port)) {
+  dist::HelloMsg hello;
+  hello.label = "strength-client";
+  connection_.send_frame(dist::encode(dist::Message{std::move(hello)}));
+  const dist::Message message = dist::decode(connection_.recv_frame());
+  const auto* welcome = std::get_if<dist::WelcomeMsg>(&message);
+  if (welcome == nullptr) {
+    throw std::runtime_error(
+        std::string("strength client: expected Welcome, got ") +
+        dist::message_name(message));
+  }
+  client_id_ = welcome->worker_id;
+}
+
+dist::StrengthReplyMsg StrengthClient::query(
+    const std::vector<std::string>& candidates) {
+  send_query(candidates);
+  return recv_reply();
+}
+
+std::uint64_t StrengthClient::send_query(
+    const std::vector<std::string>& candidates) {
+  dist::StrengthQueryMsg query;
+  query.request_id = next_request_id_++;
+  query.candidates = candidates;
+  const std::uint64_t id = query.request_id;
+  connection_.send_frame(dist::encode(dist::Message{std::move(query)}));
+  return id;
+}
+
+dist::StrengthReplyMsg StrengthClient::recv_reply() {
+  dist::Message message = dist::decode(connection_.recv_frame());
+  auto* reply = std::get_if<dist::StrengthReplyMsg>(&message);
+  if (reply == nullptr) {
+    throw std::runtime_error(
+        std::string("strength client: expected StrengthReply, got ") +
+        dist::message_name(message));
+  }
+  return std::move(*reply);
+}
+
+}  // namespace passflow::serve

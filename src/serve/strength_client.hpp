@@ -1,0 +1,53 @@
+// Client side of the credential-screening conversation: dials a
+// StrengthServer, performs the Hello/Welcome handshake, and exchanges
+// StrengthQuery/StrengthReply frames.
+//
+// Two usage shapes:
+//   - query(): one synchronous round trip, for screening call sites.
+//   - send_query()/recv_reply(): pipelined halves for load generators —
+//     many queries in flight on one connection, replies read in order
+//     (the server answers a connection's queries in arrival order, except
+//     Overloaded refusals, which return immediately; match on request_id).
+//
+// Not thread-safe: one StrengthClient per thread, like Connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+
+namespace passflow::serve {
+
+class StrengthClient {
+ public:
+  // Dials and handshakes; throws on connect failure, version mismatch, or
+  // anything but a Welcome coming back.
+  StrengthClient(const std::string& host, std::uint16_t port);
+
+  std::uint64_t client_id() const { return client_id_; }
+
+  // One synchronous round trip.
+  dist::StrengthReplyMsg query(const std::vector<std::string>& candidates);
+
+  // Pipelined send; returns the request_id the reply will echo.
+  std::uint64_t send_query(const std::vector<std::string>& candidates);
+
+  // Blocks for the next reply frame. Throws on EOF/corrupt frames or if
+  // the server sends anything that is not a StrengthReply.
+  dist::StrengthReplyMsg recv_reply();
+
+  // True when recv_reply() would make progress within timeout_ms.
+  bool reply_ready(int timeout_ms) { return connection_.readable(timeout_ms); }
+
+  void close() { connection_.close(); }
+
+ private:
+  dist::Connection connection_;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace passflow::serve

@@ -1,0 +1,351 @@
+#include "serve/strength_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace passflow::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// exp(-log_mass) for the importance weights; one pathologically small
+// sample mass must not turn into an inf that poisons every larger guess
+// number, so the exponent is clamped just under the double overflow edge.
+double inverse_mass(double log_mass) {
+  return std::exp(std::min(-log_mass, 700.0));
+}
+
+}  // namespace
+
+StrengthServer::StrengthServer(StrengthServerConfig config,
+                               const flow::FlowModel& model,
+                               const data::Encoder& encoder,
+                               std::shared_ptr<const guessing::Matcher> matcher)
+    : config_(std::move(config)),
+      model_(model),
+      encoder_(encoder),
+      matcher_(std::move(matcher)),
+      listener_(config_.port) {
+  if (matcher_ == nullptr) {
+    throw std::runtime_error("strength server: null matcher");
+  }
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  build_calibration();
+}
+
+StrengthServer::~StrengthServer() = default;
+
+void StrengthServer::build_calibration() {
+  // One code bin of the encoder covers 1/|alphabet| per dimension, so a
+  // candidate's probability mass is p(bin center) * bin volume.
+  log_bin_volume_ =
+      -static_cast<double>(model_.dim()) *
+      std::log(static_cast<double>(encoder_.alphabet().size()));
+
+  const std::size_t n = std::max<std::size_t>(1, config_.calibration_samples);
+  const std::size_t step = std::max<std::size_t>(1, config_.calibration_batch);
+  calibration_log_mass_.reserve(n);
+  util::Rng rng(config_.calibration_seed);
+  for (std::size_t done = 0; done < n; done += step) {
+    const std::size_t rows = std::min(step, n - done);
+    nn::Matrix z(rows, model_.dim());
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* row = z.row(r);
+      for (std::size_t c = 0; c < z.cols(); ++c) {
+        row[c] = static_cast<float>(rng.normal());
+      }
+    }
+    // Sample -> password -> that password's bin-center mass. Decoded
+    // strings are always re-encodable (decode clamps into the alphabet).
+    const nn::Matrix x = model_.inverse(z, config_.pool);
+    const std::vector<std::string> passwords =
+        encoder_.decode_batch(x, config_.pool);
+    const nn::Matrix centers = encoder_.encode_batch(passwords);
+    const std::vector<double> log_prob =
+        model_.log_prob_batch(centers, config_.pool);
+    for (const double lp : log_prob) {
+      calibration_log_mass_.push_back(lp + log_bin_volume_);
+    }
+  }
+
+  // Dell'Amico–Filippone: rank(p) ~= 1 + sum_{mass_i > p} 1/(N * mass_i).
+  // Sorting descending turns every query into a binary search plus one
+  // prefix-sum lookup; summation order is fixed, so estimates are
+  // deterministic given (model, seed, N).
+  std::sort(calibration_log_mass_.begin(), calibration_log_mass_.end(),
+            std::greater<double>());
+  weight_prefix_.assign(calibration_log_mass_.size() + 1, 0.0);
+  const double scale = 1.0 / static_cast<double>(calibration_log_mass_.size());
+  for (std::size_t i = 0; i < calibration_log_mass_.size(); ++i) {
+    weight_prefix_[i + 1] =
+        weight_prefix_[i] + scale * inverse_mass(calibration_log_mass_[i]);
+  }
+}
+
+double StrengthServer::guess_number_for_log_prob(double log_prob) const {
+  if (!std::isfinite(log_prob)) return log_prob > 0 ? 1.0 : kInf;
+  const double log_mass = log_prob + log_bin_volume_;
+  // Samples strictly more massive than the candidate precede it in a
+  // likelihood-ordered attack. Descending sort: they form the prefix.
+  const auto first_not_greater =
+      std::lower_bound(calibration_log_mass_.begin(),
+                       calibration_log_mass_.end(), log_mass,
+                       std::greater<double>());
+  const std::size_t stronger_count = static_cast<std::size_t>(
+      first_not_greater - calibration_log_mass_.begin());
+  return 1.0 + weight_prefix_[stronger_count];
+}
+
+bool StrengthServer::candidate_representable(
+    const std::string& candidate) const {
+  if (candidate.size() > encoder_.dim()) return false;
+  const data::Alphabet& alphabet = encoder_.alphabet();
+  for (const char c : candidate) {
+    // PAD is *in* the alphabet but means end-of-string to the encoder, so
+    // an embedded NUL cannot be represented faithfully.
+    if (c == alphabet.pad() || !alphabet.contains(c)) return false;
+  }
+  return true;
+}
+
+std::vector<dist::StrengthEstimate> StrengthServer::score(
+    const std::vector<std::string>& candidates) const {
+  std::vector<dist::StrengthEstimate> out(candidates.size());
+  if (candidates.empty()) return out;
+
+  // Membership is byte-exact and runs for every candidate, representable
+  // or not — a breached password is breached regardless of the model's
+  // alphabet.
+  std::vector<char> in_index;
+  matcher_->contains_batch(candidates, config_.pool, in_index);
+
+  std::vector<std::size_t> rep_index;
+  std::vector<std::string> rep;
+  rep_index.reserve(candidates.size());
+  rep.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidate_representable(candidates[i])) {
+      rep_index.push_back(i);
+      rep.push_back(candidates[i]);
+    } else {
+      out[i].log_prob = -kInf;
+      out[i].guess_number = kInf;
+      out[i].representable = false;
+    }
+  }
+  if (!rep.empty()) {
+    const nn::Matrix x = encoder_.encode_batch(rep);
+    const std::vector<double> log_prob = model_.log_prob_batch(x, config_.pool);
+    for (std::size_t j = 0; j < rep.size(); ++j) {
+      dist::StrengthEstimate& e = out[rep_index[j]];
+      e.log_prob = log_prob[j];
+      e.guess_number = guess_number_for_log_prob(log_prob[j]);
+      e.representable = true;
+    }
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    out[i].in_index = in_index[i] != 0;
+  }
+  return out;
+}
+
+bool StrengthServer::poll_once(int timeout_ms) {
+  if (stop_.load(std::memory_order_relaxed)) return false;
+  sweep_dead_clients();
+
+  // poll() cannot see bytes already pulled into a connection's streambuf,
+  // and queued work needs no wait at all — only sleep when truly idle.
+  bool buffered = false;
+  for (const Client& client : clients_) {
+    if (!client.dead && client.connection.has_buffered()) buffered = true;
+  }
+  if (!buffered && pending_.empty()) {
+    std::vector<int> fds;
+    fds.reserve(clients_.size() + 1);
+    fds.push_back(listener_.fd());
+    for (const Client& client : clients_) {
+      if (!client.dead) fds.push_back(client.connection.fd());
+    }
+    dist::wait_any_readable(fds, timeout_ms);
+  }
+
+  accept_new_clients();
+  for (Client& client : clients_) {
+    if (!client.dead) drain_client(client);
+  }
+  process_pending();
+  sweep_dead_clients();
+  return !stop_.load(std::memory_order_relaxed);
+}
+
+void StrengthServer::run() {
+  while (poll_once(50)) {
+  }
+}
+
+void StrengthServer::accept_new_clients() {
+  while (listener_.pending(0)) {
+    clients_.push_back(
+        Client{next_client_id_++, listener_.accept_connection()});
+    ++stats_.clients_accepted;
+  }
+}
+
+void StrengthServer::drain_client(Client& client) {
+  try {
+    while (!client.dead && client.connection.readable(0)) {
+      handle_message(client, dist::decode(client.connection.recv_frame()));
+    }
+  } catch (const std::exception&) {
+    // EOF, torn frame, undecodable or out-of-conversation message: this
+    // client is gone (or hostile); its admitted queries die with it.
+    drop_client(client);
+  }
+}
+
+void StrengthServer::handle_message(Client& client, dist::Message message) {
+  if (auto* hello = std::get_if<dist::HelloMsg>(&message)) {
+    if (hello->protocol_version != dist::kProtocolVersion) {
+      throw std::runtime_error(
+          "strength server: protocol version mismatch (client " +
+          std::to_string(hello->protocol_version) + ", server " +
+          std::to_string(dist::kProtocolVersion) + ")");
+    }
+    if (client.registered) {
+      throw std::runtime_error("strength server: duplicate Hello");
+    }
+    client.registered = true;
+    client.connection.send_frame(
+        dist::encode(dist::Message{dist::WelcomeMsg{client.id}}));
+    return;
+  }
+  auto* query = std::get_if<dist::StrengthQueryMsg>(&message);
+  if (query == nullptr || !client.registered) {
+    throw std::runtime_error(
+        std::string("strength server: unexpected ") + message_name(message) +
+        (client.registered ? "" : " before Hello"));
+  }
+
+  // Admission control: refuse — loudly, immediately — rather than queue
+  // past the bound. The reply still carries the request_id, so a client
+  // can tell exactly which query to retry.
+  if (query->candidates.size() + pending_candidates_ >
+      config_.max_pending_candidates) {
+    ++stats_.overloaded;
+    dist::StrengthReplyMsg refusal;
+    refusal.request_id = query->request_id;
+    refusal.status = dist::StrengthStatus::kOverloaded;
+    client.connection.send_frame(
+        dist::encode(dist::Message{std::move(refusal)}));
+    ++stats_.replies_sent;
+    return;
+  }
+
+  ++stats_.queries;
+  PendingQuery pending;
+  pending.client_id = client.id;
+  pending.request_id = query->request_id;
+  pending.estimates.resize(query->candidates.size());
+  pending_candidates_ += query->candidates.size();
+  pending.candidates = std::move(query->candidates);
+  pending_.push_back(std::move(pending));
+}
+
+void StrengthServer::process_pending() {
+  while (!pending_.empty()) {
+    // Reply to fully-scored queries at the head (an empty candidate list
+    // is born fully scored and answers with an empty Ok).
+    while (!pending_.empty() &&
+           pending_.front().scored == pending_.front().candidates.size()) {
+      PendingQuery done = std::move(pending_.front());
+      pending_.pop_front();
+      dist::StrengthReplyMsg reply;
+      reply.request_id = done.request_id;
+      reply.status = dist::StrengthStatus::kOk;
+      reply.estimates = std::move(done.estimates);
+      send_reply(done.client_id, std::move(reply));
+    }
+    if (pending_.empty()) break;
+
+    // Micro-batch: coalesce up to max_batch unscored candidates across
+    // queries (and therefore across connections) in arrival order into
+    // one model pass + one membership probe.
+    std::vector<std::string> batch;
+    std::vector<std::pair<std::size_t, std::size_t>> slot;  // query, cand
+    const std::size_t want = std::min(config_.max_batch, pending_candidates_);
+    batch.reserve(want);
+    slot.reserve(want);
+    for (std::size_t qi = 0; qi < pending_.size() && batch.size() < want;
+         ++qi) {
+      const PendingQuery& query = pending_[qi];
+      for (std::size_t ci = query.scored;
+           ci < query.candidates.size() && batch.size() < want; ++ci) {
+        batch.push_back(query.candidates[ci]);
+        slot.emplace_back(qi, ci);
+      }
+    }
+    const std::vector<dist::StrengthEstimate> estimates = score(batch);
+    ++stats_.batches;
+    stats_.candidates_scored += batch.size();
+    pending_candidates_ -= batch.size();
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      PendingQuery& query = pending_[slot[i].first];
+      query.estimates[slot[i].second] = estimates[i];
+      ++query.scored;
+    }
+  }
+}
+
+void StrengthServer::send_reply(std::uint64_t client_id,
+                                dist::StrengthReplyMsg reply) {
+  Client* client = find_client(client_id);
+  // Disconnected mid-batch: its work is discarded, never mis-delivered.
+  if (client == nullptr || client->dead) return;
+  try {
+    client->connection.send_frame(
+        dist::encode(dist::Message{std::move(reply)}));
+    ++stats_.replies_sent;
+  } catch (const std::exception&) {
+    drop_client(*client);
+  }
+}
+
+StrengthServer::Client* StrengthServer::find_client(std::uint64_t client_id) {
+  for (Client& client : clients_) {
+    if (client.id == client_id) return &client;
+  }
+  return nullptr;
+}
+
+void StrengthServer::drop_client(Client& client) {
+  if (client.dead) return;
+  client.dead = true;
+  client.connection.close();
+  ++stats_.clients_dropped;
+  // Un-admit the dead client's queued work so it cannot hold admission
+  // slots (or burn batch capacity) for clients that are still alive.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->client_id == client.id) {
+      pending_candidates_ -= it->candidates.size() - it->scored;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StrengthServer::sweep_dead_clients() {
+  clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                [](const Client& c) { return c.dead; }),
+                 clients_.end());
+}
+
+}  // namespace passflow::serve

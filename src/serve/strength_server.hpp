@@ -1,0 +1,180 @@
+// Online credential-screening service: a long-lived server answering "how
+// guessable is this password?" over the dist transport.
+//
+// This is the inverse of the offline attack the rest of the system runs:
+// production traffic asks, per candidate password, for the flow's exact
+// log-likelihood, an estimated guess number (the rank at which a
+// likelihood-ordered attack would try it), and membership in the serving
+// index (the breached-password point lookup). All three come back in one
+// StrengthReply per StrengthQuery.
+//
+// Architecture: one single-threaded event loop (the coordinator's shape —
+// wait_any_readable across listener + clients, drain frames, then work)
+// over shared *read-only* model + matcher state. The hot path is a
+// micro-batching loop: candidates from up to max_batch worth of in-flight
+// queries — across connections — are coalesced into ONE
+// FlowModel::log_prob_batch forward pass and ONE Matcher::contains_batch
+// probe, amortizing GEMM setup exactly like the attack pipeline does.
+// Because log_prob_batch rides the allocation-local inference path and
+// rows are independent, a batched reply is bitwise identical to scoring
+// the same candidate alone (serving_test proves it).
+//
+// Admission control: at most max_pending_candidates candidates may be
+// queued awaiting a batch. A query that would exceed the bound is answered
+// immediately with StrengthStatus::kOverloaded — never silently queued,
+// never silently dropped — so a flooding client sees backpressure instead
+// of unbounded server memory.
+//
+// Guess numbers use the Monte-Carlo rank estimator (Dell'Amico &
+// Filippone, S&P 2015) adapted to the flow: draw N latents once at
+// construction from a fixed seed, decode each to its password's bin
+// center, and score those bin masses. The estimated rank of a candidate
+// with probability mass p is then 1 + sum over samples with mass_i > p of
+// 1/(N * mass_i) — deterministic given (model, seed, N), O(log N) per
+// candidate via a sorted prefix-sum table.
+//
+// All liveness timekeeping in this layer is steady_clock-based
+// (util::Timer); wall-clock time never gates a deadline, so an NTP step
+// cannot starve or wedge the loop (a grep gate test enforces this for
+// src/dist + src/serve).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/encoder.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "flow/flow_model.hpp"
+#include "guessing/matcher.hpp"
+
+namespace passflow::util {
+class ThreadPool;
+}
+
+namespace passflow::serve {
+
+struct StrengthServerConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral; StrengthServer::port() tells
+  // K: max candidates coalesced into one model batch. Queries queue in
+  // arrival order; one query's candidates may span batches.
+  std::size_t max_batch = 64;
+  // Admission bound: total candidates queued awaiting a batch. A query
+  // that would push past this is refused with kOverloaded.
+  std::size_t max_pending_candidates = 4096;
+  // Optional pool for row-chunked inference + membership probes.
+  util::ThreadPool* pool = nullptr;
+  // Monte-Carlo guess-number calibration, drawn once at construction.
+  std::size_t calibration_samples = 2048;
+  std::uint64_t calibration_seed = 0x5eedf10uLL;
+  std::size_t calibration_batch = 512;  // rows per calibration forward pass
+};
+
+struct StrengthServerStats {
+  std::size_t clients_accepted = 0;
+  std::size_t clients_dropped = 0;  // disconnect, EOF, or protocol error
+  std::size_t queries = 0;          // StrengthQuery frames admitted
+  std::size_t overloaded = 0;       // queries refused at the admission gate
+  std::size_t candidates_scored = 0;
+  std::size_t batches = 0;  // log_prob_batch calls the loop issued
+  std::size_t replies_sent = 0;
+};
+
+class StrengthServer {
+ public:
+  // Binds the listener and runs the calibration pass. `model`, `encoder`
+  // and `matcher` must stay alive (and unmodified) for the server's
+  // lifetime; they are only ever read, so one instance may back several
+  // servers. Throws on bind failure or if the transport is unavailable.
+  StrengthServer(StrengthServerConfig config, const flow::FlowModel& model,
+                 const data::Encoder& encoder,
+                 std::shared_ptr<const guessing::Matcher> matcher);
+  ~StrengthServer();
+
+  StrengthServer(const StrengthServer&) = delete;
+  StrengthServer& operator=(const StrengthServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // One event-loop turn: sleep up to timeout_ms for activity, accept,
+  // drain client frames (answering admission refusals inline), then score
+  // every pending candidate in micro-batches and send replies. Returns
+  // false once request_stop() was observed.
+  bool poll_once(int timeout_ms = 50);
+
+  // poll_once until request_stop(). Run this on a dedicated thread.
+  void run();
+
+  // Thread-safe: the loop observes it within one poll_once timeout.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // Counters owned by the event-loop thread; read only after run()
+  // returned (or between poll_once calls on the loop's own thread).
+  const StrengthServerStats& stats() const { return stats_; }
+
+  // The scoring core the event loop batches into, exposed so tests and
+  // benches can compute ground truth without sockets. Estimates come back
+  // in candidate order; batching here is caller-invisible (bitwise equal
+  // at any split). Safe to call concurrently with itself.
+  std::vector<dist::StrengthEstimate> score(
+      const std::vector<std::string>& candidates) const;
+
+  // Estimated guess number for an exact log p(x); exposed for tests.
+  double guess_number_for_log_prob(double log_prob) const;
+
+ private:
+  struct Client {
+    std::uint64_t id = 0;
+    dist::Connection connection;
+    bool registered = false;  // Hello/Welcome handshake completed
+    bool dead = false;
+  };
+
+  // One admitted query waiting for (or mid-way through) scoring.
+  struct PendingQuery {
+    std::uint64_t client_id = 0;
+    std::uint64_t request_id = 0;
+    std::vector<std::string> candidates;
+    std::vector<dist::StrengthEstimate> estimates;  // filled as batches land
+    std::size_t scored = 0;  // candidates_[0, scored) already answered
+  };
+
+  void build_calibration();
+  void accept_new_clients();
+  void drain_client(Client& client);
+  void handle_message(Client& client, dist::Message message);
+  void process_pending();
+  void send_reply(std::uint64_t client_id, dist::StrengthReplyMsg reply);
+  Client* find_client(std::uint64_t client_id);
+  void drop_client(Client& client);
+  void sweep_dead_clients();
+  bool candidate_representable(const std::string& candidate) const;
+
+  StrengthServerConfig config_;
+  const flow::FlowModel& model_;
+  const data::Encoder& encoder_;
+  std::shared_ptr<const guessing::Matcher> matcher_;
+  dist::Listener listener_;
+
+  std::atomic<bool> stop_{false};
+
+  std::vector<Client> clients_;
+  std::uint64_t next_client_id_ = 1;
+  std::deque<PendingQuery> pending_;
+  std::size_t pending_candidates_ = 0;  // unscored candidates across pending_
+
+  // Calibration table: per-sample log bin masses sorted descending, with
+  // weight_prefix_[k] = sum over the k largest masses of 1/(N * mass_i).
+  std::vector<double> calibration_log_mass_;  // descending
+  std::vector<double> weight_prefix_;         // size N + 1, prefix_[0] = 0
+  double log_bin_volume_ = 0.0;  // log of one code bin's volume, dim*log(1/|A|)
+
+  StrengthServerStats stats_;
+};
+
+}  // namespace passflow::serve

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -93,6 +94,44 @@ std::vector<Message> captured_exchange() {
           checkpoint,     result,        ShutdownMsg{}};
 }
 
+// A representative credential-screening conversation: handshake, a query
+// whose candidates include empty, NUL-bearing and non-ASCII strings, an Ok
+// reply with infinite estimates for the unrepresentable ones, and an
+// Overloaded refusal. Deterministic — pinned by serving_exchange.bin.
+std::vector<Message> captured_serving_exchange() {
+  HelloMsg hello;
+  hello.label = "screening-client";
+
+  StrengthQueryMsg query;
+  query.request_id = 7;
+  query.candidates = {"123456", "tr0ub4dor", "",
+                      std::string("we\x00ird", 6), "p\xc3\xa4ss"};
+
+  StrengthReplyMsg ok;
+  ok.request_id = 7;
+  ok.status = StrengthStatus::kOk;
+  StrengthEstimate weak;
+  weak.log_prob = -3.25;
+  weak.guess_number = 12.5;
+  weak.in_index = true;
+  weak.representable = true;
+  StrengthEstimate unrepresentable;
+  unrepresentable.log_prob = -std::numeric_limits<double>::infinity();
+  unrepresentable.guess_number = std::numeric_limits<double>::infinity();
+  unrepresentable.in_index = true;
+  unrepresentable.representable = false;
+  StrengthEstimate plain;
+  plain.log_prob = -17.75;
+  plain.guess_number = 99004.0;
+  ok.estimates = {weak, plain, plain, unrepresentable, unrepresentable};
+
+  StrengthReplyMsg overloaded;
+  overloaded.request_id = 8;
+  overloaded.status = StrengthStatus::kOverloaded;
+
+  return {hello, WelcomeMsg{3}, query, ok, overloaded};
+}
+
 std::string frame_bytes(const std::vector<Message>& messages) {
   std::string bytes;
   for (const auto& message : messages) {
@@ -142,10 +181,13 @@ void expect_rejected(const std::string& bytes, const std::string& needle,
   }
 }
 
-class FramingCorruption : public ::testing::Test {
+// Fixture body shared by the coordinator/worker and serving exchanges:
+// both run the identical truncation and bit-flip sweeps over their own
+// captured conversation.
+class FramingCorruptionBase : public ::testing::Test {
  protected:
-  void SetUp() override {
-    expected_ = captured_exchange();
+  void init(std::vector<Message> messages) {
+    expected_ = std::move(messages);
     exchange_ = frame_bytes(expected_);
     // Frame boundaries: clean truncation stops are legal exactly here.
     std::string prefix;
@@ -163,9 +205,70 @@ class FramingCorruption : public ::testing::Test {
     return false;
   }
 
+  void run_truncation_sweep() {
+    for (std::size_t length = 0; length < exchange_.size(); ++length) {
+      const std::string torn = exchange_.substr(0, length);
+      std::vector<Message> got;
+      bool threw = false;
+      try {
+        read_messages(torn, &got);
+      } catch (const std::runtime_error&) {
+        threw = true;
+      }
+      expect_message_prefix(got, expected_,
+                            "truncated at " + std::to_string(length));
+      if (!threw) {
+        // No error is only acceptable when the cut landed exactly between
+        // frames — then the reader saw N intact frames and a clean EOF.
+        EXPECT_TRUE(at_boundary(length))
+            << "silent stop at mid-frame truncation length " << length;
+      }
+    }
+  }
+
+  void run_bit_flip_sweep() {
+    for (std::size_t byte = 0; byte < exchange_.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string damaged = exchange_;
+        damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+        std::vector<Message> got;
+        bool threw = false;
+        try {
+          read_messages(damaged, &got);
+        } catch (const std::runtime_error&) {
+          threw = true;
+        }
+        EXPECT_TRUE(threw) << "bit " << bit << " of byte " << byte
+                           << " flipped without any loud failure";
+        // Frames that end before the damaged byte are untouched and must
+        // decode identically; nothing past the damage may surface.
+        expect_message_prefix(got, expected_,
+                              "bit flip at byte " + std::to_string(byte));
+        std::size_t intact = 0;
+        while (intact + 1 < boundaries_.size() &&
+               boundaries_[intact + 1] <= byte) {
+          ++intact;
+        }
+        EXPECT_LE(got.size(), intact)
+            << "a frame containing byte " << byte
+            << " decoded despite damage";
+      }
+    }
+  }
+
   std::vector<Message> expected_;
   std::string exchange_;
   std::vector<std::size_t> boundaries_;
+};
+
+class FramingCorruption : public FramingCorruptionBase {
+ protected:
+  void SetUp() override { init(captured_exchange()); }
+};
+
+class ServingFramingCorruption : public FramingCorruptionBase {
+ protected:
+  void SetUp() override { init(captured_serving_exchange()); }
 };
 
 TEST_F(FramingCorruption, GoldenExchangePinsTheWireBytes) {
@@ -179,52 +282,61 @@ TEST_F(FramingCorruption, GoldenExchangePinsTheWireBytes) {
 }
 
 TEST_F(FramingCorruption, TruncationAtEveryLengthIsLoudOrAStrictPrefix) {
-  for (std::size_t length = 0; length < exchange_.size(); ++length) {
-    const std::string torn = exchange_.substr(0, length);
-    std::vector<Message> got;
-    bool threw = false;
-    try {
-      read_messages(torn, &got);
-    } catch (const std::runtime_error&) {
-      threw = true;
-    }
-    expect_message_prefix(got, expected_,
-                          "truncated at " + std::to_string(length));
-    if (!threw) {
-      // No error is only acceptable when the cut landed exactly between
-      // frames — then the reader saw N intact frames and a clean EOF.
-      EXPECT_TRUE(at_boundary(length))
-          << "silent stop at mid-frame truncation length " << length;
-    }
-  }
+  run_truncation_sweep();
 }
 
 TEST_F(FramingCorruption, EverySingleBitFlipIsDetected) {
-  for (std::size_t byte = 0; byte < exchange_.size(); ++byte) {
-    for (int bit = 0; bit < 8; ++bit) {
-      std::string damaged = exchange_;
-      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
-      std::vector<Message> got;
-      bool threw = false;
-      try {
-        read_messages(damaged, &got);
-      } catch (const std::runtime_error&) {
-        threw = true;
-      }
-      EXPECT_TRUE(threw) << "bit " << bit << " of byte " << byte
-                         << " flipped without any loud failure";
-      // Frames that end before the damaged byte are untouched and must
-      // decode identically; nothing past the damage may surface.
-      expect_message_prefix(got, expected_,
-                            "bit flip at byte " + std::to_string(byte));
-      std::size_t intact = 0;
-      while (intact + 1 < boundaries_.size() && boundaries_[intact + 1] <= byte) {
-        ++intact;
-      }
-      EXPECT_LE(got.size(), intact)
-          << "a frame containing byte " << byte << " decoded despite damage";
-    }
-  }
+  run_bit_flip_sweep();
+}
+
+TEST_F(ServingFramingCorruption, GoldenServingExchangePinsTheWireBytes) {
+  const std::string golden = load_or_seed("serving_exchange.bin", exchange_);
+  EXPECT_EQ(golden, exchange_)
+      << "serving wire format drifted from "
+         "tests/fixtures/dist/serving_exchange.bin — a frame or message "
+         "byte layout changed";
+  const auto messages = read_messages(golden);
+  ASSERT_EQ(messages.size(), expected_.size());
+  expect_message_prefix(messages, expected_, "golden serving exchange");
+}
+
+TEST_F(ServingFramingCorruption, TruncationAtEveryLengthIsLoudOrAStrictPrefix) {
+  run_truncation_sweep();
+}
+
+TEST_F(ServingFramingCorruption, EverySingleBitFlipIsDetected) {
+  run_bit_flip_sweep();
+}
+
+// Intact frames (the CRC passes) whose strength payloads are semantically
+// invalid: the protocol decoder must reject each with its specific error.
+TEST_F(ServingFramingCorruption, GoldenCorruptStrengthFramesStayRejected) {
+  StrengthReplyMsg reply;
+  reply.request_id = 7;
+  reply.estimates.resize(1);
+
+  // Payload layout: tag u64 | request_id u64 | status u64 | count u64 |
+  // estimate {log_prob f64 | guess_number f64 | flags u64}.
+  std::string bad_status = encode(Message{reply});
+  bad_status[16] = 7;
+  std::string bad_flags = encode(Message{reply});
+  bad_flags[48] = 0x0F;
+
+  StrengthQueryMsg query;
+  query.request_id = 9;
+  query.candidates = {"abc"};
+  std::string trailing = encode(Message{query}) + '\x00';
+
+  expect_rejected(
+      load_or_seed("strength_bad_status.bin",
+                   util::encode_checkpoint_frame(bad_status)),
+      "invalid strength status", "strength_bad_status.bin");
+  expect_rejected(load_or_seed("strength_bad_flags.bin",
+                               util::encode_checkpoint_frame(bad_flags)),
+                  "invalid strength flags", "strength_bad_flags.bin");
+  expect_rejected(load_or_seed("strength_trailing.bin",
+                               util::encode_checkpoint_frame(trailing)),
+                  "trailing bytes", "strength_trailing.bin");
 }
 
 TEST_F(FramingCorruption, GoldenCorruptFramesStayRejected) {

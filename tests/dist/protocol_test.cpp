@@ -4,6 +4,7 @@
 // transport and multi-process behavior live in distributed_fleet_test.
 #include "dist/protocol.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <variant>
@@ -133,6 +134,95 @@ TEST(Protocol, MessageNamesAreStable) {
   EXPECT_STREQ(message_name(HelloMsg{}), "Hello");
   EXPECT_STREQ(message_name(AssignMsg{}), "Assign");
   EXPECT_STREQ(message_name(ShutdownMsg{}), "Shutdown");
+  EXPECT_STREQ(message_name(StrengthQueryMsg{}), "StrengthQuery");
+  EXPECT_STREQ(message_name(StrengthReplyMsg{}), "StrengthReply");
+}
+
+TEST(Protocol, StrengthQueryRoundTripsHostileCandidates) {
+  StrengthQueryMsg query;
+  query.request_id = 0xdeadbeefcafe1234ull;
+  // Candidates are arbitrary bytes: empty, embedded NUL, non-ASCII.
+  query.candidates = {"123456", "", std::string("we\x00ird", 6),
+                      "p\xc3\xa4ss", std::string(300, 'q')};
+  const Message decoded = decode(encode(query));
+  const auto& out = std::get<StrengthQueryMsg>(decoded);
+  EXPECT_EQ(out.request_id, query.request_id);
+  EXPECT_EQ(out.candidates, query.candidates);
+}
+
+TEST(Protocol, StrengthReplyRoundTripsEstimatesAndInfinities) {
+  StrengthReplyMsg reply;
+  reply.request_id = 77;
+  reply.status = StrengthStatus::kOk;
+  StrengthEstimate weak;
+  weak.log_prob = -2.5;
+  weak.guess_number = 3.0;
+  weak.in_index = true;
+  weak.representable = true;
+  StrengthEstimate unrepresentable;
+  unrepresentable.log_prob = -std::numeric_limits<double>::infinity();
+  unrepresentable.guess_number = std::numeric_limits<double>::infinity();
+  unrepresentable.in_index = true;
+  unrepresentable.representable = false;
+  StrengthEstimate plain;
+  plain.log_prob = -33.125;
+  plain.guess_number = 1e9;
+  reply.estimates = {weak, unrepresentable, plain};
+
+  const Message decoded = decode(encode(reply));
+  const auto& out = std::get<StrengthReplyMsg>(decoded);
+  EXPECT_EQ(out.request_id, 77u);
+  EXPECT_EQ(out.status, StrengthStatus::kOk);
+  ASSERT_EQ(out.estimates.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.estimates[i].log_prob, reply.estimates[i].log_prob);
+    EXPECT_EQ(out.estimates[i].guess_number, reply.estimates[i].guess_number);
+    EXPECT_EQ(out.estimates[i].in_index, reply.estimates[i].in_index);
+    EXPECT_EQ(out.estimates[i].representable, reply.estimates[i].representable);
+  }
+
+  StrengthReplyMsg refusal;
+  refusal.request_id = 78;
+  refusal.status = StrengthStatus::kOverloaded;
+  const auto& refused =
+      std::get<StrengthReplyMsg>(decode(encode(refusal)));
+  EXPECT_EQ(refused.status, StrengthStatus::kOverloaded);
+  EXPECT_TRUE(refused.estimates.empty());
+}
+
+TEST(Protocol, StrengthReplyRejectsInvalidStatusAndFlags) {
+  StrengthReplyMsg reply;
+  reply.request_id = 1;
+  reply.estimates.resize(1);
+  // Payload layout: tag u64 | request_id u64 | status u64 | count u64 |
+  // estimate {log_prob f64 | guess_number f64 | flags u64}.
+  std::string bad_status = encode(Message{reply});
+  bad_status[16] = 7;
+  EXPECT_THROW(decode(bad_status), std::runtime_error);
+  std::string bad_flags = encode(Message{reply});
+  bad_flags[48] = 0x0F;
+  EXPECT_THROW(decode(bad_flags), std::runtime_error);
+}
+
+TEST(Protocol, StrengthMessagesRejectTruncationAndTrailingBytes) {
+  StrengthQueryMsg query;
+  query.request_id = 5;
+  query.candidates = {"abc", "de"};
+  const std::string query_payload = encode(Message{query});
+  for (std::size_t length = 0; length < query_payload.size(); ++length) {
+    EXPECT_THROW(decode(query_payload.substr(0, length)), std::runtime_error)
+        << "query truncated at " << length;
+  }
+  EXPECT_THROW(decode(query_payload + "x"), std::runtime_error);
+
+  StrengthReplyMsg reply;
+  reply.estimates.resize(2);
+  const std::string reply_payload = encode(Message{reply});
+  for (std::size_t length = 0; length < reply_payload.size(); ++length) {
+    EXPECT_THROW(decode(reply_payload.substr(0, length)), std::runtime_error)
+        << "reply truncated at " << length;
+  }
+  EXPECT_THROW(decode(reply_payload + "x"), std::runtime_error);
 }
 
 TEST(Protocol, DecodeRejectsUnknownTag) {

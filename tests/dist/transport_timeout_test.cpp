@@ -1,0 +1,137 @@
+// Regression tests for the EINTR deadline bug: poll-based waits used to
+// restart ::poll with the FULL original timeout after every EINTR, so under
+// a steady signal stream (interval shorter than the timeout) they never ran
+// down the clock and blocked indefinitely. The fix tracks an absolute
+// steady_clock deadline across retries; these tests run each wait under a
+// SIGALRM storm and assert it still returns close to the requested bound.
+#include <gtest/gtest.h>
+
+#include "dist/transport.hpp"
+#include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/time.h>
+
+namespace {
+
+using passflow::dist::Connection;
+using passflow::dist::Listener;
+using passflow::dist::connect_to;
+using passflow::dist::transport_available;
+using passflow::dist::wait_any_readable;
+
+void on_alarm(int) {}  // exists only to make ::poll return EINTR
+
+// Fires SIGALRM every few milliseconds for the object's lifetime, with a
+// handler installed WITHOUT SA_RESTART so every blocking poll is
+// interrupted. The interval (3 ms) is far below the timeouts under test
+// (150 ms), so the unfixed full-timeout restart would never terminate.
+class SigalrmStorm {
+ public:
+  SigalrmStorm() {
+    struct sigaction action {};
+    action.sa_handler = on_alarm;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: poll must see EINTR
+    EXPECT_EQ(0, sigaction(SIGALRM, &action, &previous_action_));
+    itimerval timer{};
+    timer.it_interval.tv_usec = 3000;
+    timer.it_value.tv_usec = 3000;
+    EXPECT_EQ(0, setitimer(ITIMER_REAL, &timer, &previous_timer_));
+  }
+
+  ~SigalrmStorm() {
+    setitimer(ITIMER_REAL, &previous_timer_, nullptr);
+    sigaction(SIGALRM, &previous_action_, nullptr);
+  }
+
+ private:
+  struct sigaction previous_action_ {};
+  itimerval previous_timer_{};
+};
+
+constexpr int kTimeoutMs = 150;
+// Generous upper bound: the unfixed code overshoots without limit (each of
+// the ~50 interruptions re-arms the full 150 ms), the fixed code finishes
+// at ~150 ms even on a loaded CI box.
+constexpr double kMinSeconds = 0.120;
+constexpr double kMaxSeconds = 5.0;
+
+TEST(TransportTimeout, ReadableHonorsDeadlineUnderSignalStorm) {
+  if (!transport_available()) GTEST_SKIP() << "no POSIX transport";
+  Listener listener(0);
+  Connection client = connect_to("127.0.0.1", listener.port());
+
+  SigalrmStorm storm;
+  passflow::util::Timer timer;
+  const bool ready = client.readable(kTimeoutMs);
+  const double seconds = timer.elapsed_seconds();
+
+  EXPECT_FALSE(ready) << "nothing was ever sent";
+  EXPECT_GE(seconds, kMinSeconds);
+  EXPECT_LE(seconds, kMaxSeconds)
+      << "readable() blocked far past its timeout under EINTR";
+}
+
+TEST(TransportTimeout, ListenerPendingHonorsDeadlineUnderSignalStorm) {
+  if (!transport_available()) GTEST_SKIP() << "no POSIX transport";
+  Listener listener(0);
+
+  SigalrmStorm storm;
+  passflow::util::Timer timer;
+  const bool ready = listener.pending(kTimeoutMs);
+  const double seconds = timer.elapsed_seconds();
+
+  EXPECT_FALSE(ready) << "nobody ever dialed";
+  EXPECT_GE(seconds, kMinSeconds);
+  EXPECT_LE(seconds, kMaxSeconds)
+      << "pending() blocked far past its timeout under EINTR";
+}
+
+TEST(TransportTimeout, WaitAnyReadableHonorsDeadlineUnderSignalStorm) {
+  if (!transport_available()) GTEST_SKIP() << "no POSIX transport";
+  Listener listener(0);
+  Connection a = connect_to("127.0.0.1", listener.port());
+  Connection b = connect_to("127.0.0.1", listener.port());
+
+  SigalrmStorm storm;
+  passflow::util::Timer timer;
+  const bool ready = wait_any_readable({a.fd(), b.fd()}, kTimeoutMs);
+  const double seconds = timer.elapsed_seconds();
+
+  EXPECT_FALSE(ready) << "nothing was ever sent";
+  EXPECT_GE(seconds, kMinSeconds);
+  EXPECT_LE(seconds, kMaxSeconds)
+      << "wait_any_readable() blocked far past its timeout under EINTR";
+}
+
+// The zero/negative timeouts keep their meaning under interruption: 0 never
+// blocks even while signals land, and data arriving makes waits return
+// early (well before the deadline) exactly as without a storm.
+TEST(TransportTimeout, ZeroTimeoutAndDataStillBehaveUnderSignalStorm) {
+  if (!transport_available()) GTEST_SKIP() << "no POSIX transport";
+  Listener listener(0);
+  Connection client = connect_to("127.0.0.1", listener.port());
+  Connection server = listener.accept_connection();
+
+  SigalrmStorm storm;
+  passflow::util::Timer timer;
+  EXPECT_FALSE(client.readable(0));
+  EXPECT_LE(timer.elapsed_seconds(), 1.0) << "zero timeout must not block";
+
+  server.send_frame("ping");
+  EXPECT_TRUE(client.readable(10'000)) << "data pending: no full wait";
+  EXPECT_LE(timer.elapsed_seconds(), 5.0);
+  EXPECT_EQ("ping", client.recv_frame());
+}
+
+}  // namespace
+
+#else  // !POSIX
+
+TEST(TransportTimeout, SkippedWithoutPosixTransport) {
+  GTEST_SKIP() << "no POSIX transport on this platform";
+}
+
+#endif
